@@ -1,0 +1,34 @@
+#![allow(missing_docs)]
+//! E-F2 (Fig. 2): per-layering placement latency.
+//!
+//! The paper: "Our mechanisms have cost that scales with capability —
+//! the effort required to implement a simple policy is low, and rises
+//! slowly". This bench times the same 4-object placement under each of
+//! the four layering schemes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use legion::prelude::*;
+use legion::schedulers::{place_layered, LayeringScheme};
+use legion_bench::bench_bed;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_layering");
+    for scheme in LayeringScheme::ALL {
+        g.bench_function(scheme.label(), |b| {
+            b.iter_batched(
+                || bench_bed(16, 7),
+                |(tb, class)| {
+                    let enactor = Enactor::new(tb.fabric.clone());
+                    let placed =
+                        place_layered(scheme, &tb.ctx(), &enactor, class, 4, 9).expect("places");
+                    std::hint::black_box(placed)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

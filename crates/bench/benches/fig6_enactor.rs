@@ -1,0 +1,78 @@
+#![allow(missing_docs)]
+//! E-F6 (Fig. 6): Enactor operations — co-allocation across domains,
+//! reservation + cancellation round-trips.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use legion::prelude::*;
+use legion_bench::bench_bed_wide;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_enactor");
+    for domains in [1usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("coallocate_one_per_domain", domains),
+            &domains,
+            |b, &domains| {
+                b.iter_batched(
+                    || bench_bed_wide(domains, 2, domains as u64),
+                    |(tb, class)| {
+                        let m = |d: usize| {
+                            Mapping::new(
+                                class,
+                                tb.unix_hosts[d * 2].loid(),
+                                tb.vault_loids[d],
+                            )
+                        };
+                        let master: Vec<Mapping> = (0..domains).map(m).collect();
+                        let enactor = Enactor::new(tb.fabric.clone());
+                        let fb = enactor
+                            .make_reservations(&ScheduleRequestList::single(master));
+                        assert!(fb.reserved());
+                        std::hint::black_box(fb)
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+
+    g.bench_function("reserve_then_cancel_8", |b| {
+        b.iter_batched(
+            || bench_bed_wide(1, 8, 5),
+            |(tb, class)| {
+                let master: Vec<Mapping> = tb
+                    .unix_hosts
+                    .iter()
+                    .map(|h| Mapping::new(class, h.loid(), tb.vault_loids[0]))
+                    .collect();
+                let enactor = Enactor::new(tb.fabric.clone());
+                let fb = enactor.make_reservations(&ScheduleRequestList::single(master));
+                assert!(fb.reserved());
+                enactor.cancel_reservations(&fb);
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("full_enact_8", |b| {
+        b.iter_batched(
+            || bench_bed_wide(1, 8, 6),
+            |(tb, class)| {
+                let master: Vec<Mapping> = tb
+                    .unix_hosts
+                    .iter()
+                    .map(|h| Mapping::new(class, h.loid(), tb.vault_loids[0]))
+                    .collect();
+                let enactor = Enactor::new(tb.fabric.clone());
+                let fb = enactor.make_reservations(&ScheduleRequestList::single(master));
+                let placed = enactor.enact_schedule(&fb).expect("enact");
+                std::hint::black_box(placed)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

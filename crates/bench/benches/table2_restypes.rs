@@ -1,0 +1,78 @@
+#![allow(missing_docs)]
+//! E-T2 (Table 2): reservation-table admission throughput per type.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use legion::core::{Loid, LoidKind, ReservationRequest, ReservationType, SimDuration, SimTime};
+use legion::hosts::{ReservationTable, TableCapacity};
+
+fn table() -> ReservationTable {
+    ReservationTable::new(
+        Loid::synthetic(LoidKind::Host, 1),
+        0xBEEF,
+        TableCapacity { cpu_centis: 1600, memory_mb: 16_384 },
+    )
+}
+
+fn req(rtype: ReservationType, slot: u64) -> ReservationRequest {
+    ReservationRequest::instantaneous(
+        Loid::synthetic(LoidKind::Class, 1),
+        Loid::synthetic(LoidKind::Vault, 1),
+        SimDuration::from_secs(60),
+    )
+    .with_type(rtype)
+    .with_demand(10, 64)
+    // Disjoint windows so space-sharing admits too.
+    .starting_at(SimTime::from_secs(slot * 100))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_restypes");
+    for rtype in ReservationType::ALL {
+        g.bench_function(format!("admit_64_{}", rtype.name().replace(' ', "_")), |b| {
+            b.iter_batched(
+                table,
+                |mut t| {
+                    for slot in 0..64u64 {
+                        t.make(&req(rtype, slot), SimTime::ZERO).expect("disjoint windows fit");
+                    }
+                    std::hint::black_box(t.live_count())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    // Admission check against a loaded table (the hot path under
+    // contention: overlap scan + capacity sum).
+    g.bench_function("admit_against_256_live_shared", |b| {
+        b.iter_batched(
+            || {
+                let mut t = table();
+                for _ in 0..256 {
+                    let r = ReservationRequest::instantaneous(
+                        Loid::synthetic(LoidKind::Class, 1),
+                        Loid::synthetic(LoidKind::Vault, 1),
+                        SimDuration::from_secs(10_000),
+                    )
+                    .with_demand(1, 1);
+                    t.make(&r, SimTime::ZERO).expect("tiny demands fit");
+                }
+                t
+            },
+            |mut t| {
+                let r = ReservationRequest::instantaneous(
+                    Loid::synthetic(LoidKind::Class, 1),
+                    Loid::synthetic(LoidKind::Vault, 1),
+                    SimDuration::from_secs(10),
+                )
+                .with_demand(1, 1);
+                std::hint::black_box(t.make(&r, SimTime::ZERO).is_ok())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

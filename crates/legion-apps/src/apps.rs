@@ -1,0 +1,290 @@
+//! Application models — the workloads the paper's schedulers target.
+//!
+//! "We are in the process of defining and implementing specialized
+//! placement policies for structured multi-object applications.
+//! Examples of these applications include MPI-based or PVM-based
+//! simulations, parameter space studies, and other modeling
+//! applications." (§4.3)
+//!
+//! These models predict completion time for a given placement, which is
+//! how experiments score schedulers without running real MPI programs —
+//! the substitution documented in DESIGN.md for the DoD MSRC ocean
+//! simulation.
+
+use legion_core::{Loid, SimDuration};
+use legion_fabric::Fabric;
+use legion_schedule::Mapping;
+use legion_schedulers::stencil::comm_cost;
+use legion_schedulers::GridSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A bag of independent tasks (a parameter space study).
+#[derive(Debug, Clone)]
+pub struct BagOfTasks {
+    /// Per-task compute demand (CPU-seconds on an unloaded host).
+    pub tasks: Vec<SimDuration>,
+}
+
+impl BagOfTasks {
+    /// Generates `n` tasks with runtimes uniform in `mean ± jitter`.
+    pub fn generate(n: usize, mean: SimDuration, jitter: f64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tasks = (0..n)
+            .map(|_| {
+                let k = 1.0 + rng.gen_range(-jitter..=jitter);
+                mean.mul_f64(k)
+            })
+            .collect();
+        BagOfTasks { tasks }
+    }
+
+    /// Total serial work.
+    pub fn total_work(&self) -> SimDuration {
+        self.tasks.iter().fold(SimDuration::ZERO, |a, &b| a + b)
+    }
+
+    /// Predicted makespan when task `i` runs on `assignment[i]`.
+    ///
+    /// Each distinct host processes its tasks serially, slowed by the
+    /// host's load factor (`1 + load`); the makespan is the slowest
+    /// host's finish time.
+    pub fn makespan(&self, assignment: &[Loid], load_of: impl Fn(Loid) -> f64) -> SimDuration {
+        assert_eq!(assignment.len(), self.tasks.len(), "assignment/task count mismatch");
+        let mut per_host: BTreeMap<Loid, SimDuration> = BTreeMap::new();
+        for (t, &h) in self.tasks.iter().zip(assignment) {
+            let e = per_host.entry(h).or_insert(SimDuration::ZERO);
+            *e += *t;
+        }
+        per_host
+            .into_iter()
+            .map(|(h, work)| work.mul_f64(1.0 + load_of(h).max(0.0)))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// A bulk-synchronous 2-D stencil simulation (the MSRC ocean model).
+#[derive(Debug, Clone, Copy)]
+pub struct StencilApp {
+    /// Process grid.
+    pub grid: GridSpec,
+    /// Number of compute/communicate cycles.
+    pub cycles: u64,
+    /// Compute time per rank per cycle on an unloaded host.
+    pub compute_per_cycle: SimDuration,
+}
+
+impl StencilApp {
+    /// Predicted completion time for a placement.
+    ///
+    /// Per cycle, every rank computes (slowed by its host's load) and
+    /// then performs its halo exchanges sequentially, one round-trip per
+    /// 4-neighbour edge. The barrier at the cycle boundary means the
+    /// slowest rank's cycle time — compute plus the sum of its own edge
+    /// round-trips — sets the pace. A rank whose neighbours are all in
+    /// other domains pays four WAN round-trips; a rank inside a
+    /// contiguous band pays at most one.
+    pub fn completion(
+        &self,
+        fabric: &Arc<Fabric>,
+        mappings: &[Mapping],
+        load_of: impl Fn(Loid) -> f64,
+    ) -> SimDuration {
+        assert_eq!(mappings.len(), self.grid.len(), "placement/grid size mismatch");
+        let idx = |r: i64, c: i64| (r as usize) * self.grid.cols + c as usize;
+        let lat = |a: Loid, b: Loid| {
+            let (da, db) = (fabric.domain_of(a), fabric.domain_of(b));
+            fabric.topology(|t| t.latency(da, db))
+        };
+
+        let mut worst_cycle = SimDuration::ZERO;
+        for r in 0..self.grid.rows as i64 {
+            for c in 0..self.grid.cols as i64 {
+                let me = mappings[idx(r, c)].host;
+                let mut cycle = self.compute_per_cycle.mul_f64(1.0 + load_of(me).max(0.0));
+                for (dr, dc) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+                    let (nr, nc) = (r + dr, c + dc);
+                    if nr < 0
+                        || nc < 0
+                        || nr >= self.grid.rows as i64
+                        || nc >= self.grid.cols as i64
+                    {
+                        continue;
+                    }
+                    let peer = mappings[idx(nr, nc)].host;
+                    // One halo exchange ~ a round-trip on the link.
+                    cycle += SimDuration::from_micros(lat(me, peer).as_micros() * 2);
+                }
+                worst_cycle = worst_cycle.max(cycle);
+            }
+        }
+        SimDuration::from_micros(worst_cycle.as_micros() * self.cycles)
+    }
+
+    /// Predicted total per-cycle edge cost (the [`comm_cost`] score),
+    /// using the fabric's actual latencies.
+    pub fn edge_cost(&self, fabric: &Arc<Fabric>, mappings: &[Mapping]) -> u64 {
+        let domain_of: Vec<String> = mappings
+            .iter()
+            .map(|m| format!("{:?}", fabric.domain_of(m.host)))
+            .collect();
+        let (intra, inter) = fabric.topology(|t| {
+            let d0 = legion_fabric::DomainId(0);
+            let d1 = legion_fabric::DomainId((t.len() - 1) as u16);
+            (t.latency(d0, d0).as_micros(), t.latency(d0, d1).as_micros())
+        });
+        comm_cost(&domain_of, self.grid, intra, inter.max(intra))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::LoidKind;
+
+    fn h(i: u64) -> Loid {
+        Loid::synthetic(LoidKind::Host, i)
+    }
+
+    #[test]
+    fn bag_generation_is_deterministic() {
+        let a = BagOfTasks::generate(10, SimDuration::from_secs(5), 0.2, 1);
+        let b = BagOfTasks::generate(10, SimDuration::from_secs(5), 0.2, 1);
+        assert_eq!(a.tasks, b.tasks);
+        assert!(a.tasks.iter().all(|t| {
+            let s = t.as_secs_f64();
+            (4.0..=6.0).contains(&s)
+        }));
+    }
+
+    #[test]
+    fn makespan_parallel_beats_serial() {
+        let bag = BagOfTasks::generate(8, SimDuration::from_secs(10), 0.0, 2);
+        let serial: Vec<Loid> = vec![h(1); 8];
+        let parallel: Vec<Loid> = (0..8).map(h).collect();
+        let ms_serial = bag.makespan(&serial, |_| 0.0);
+        let ms_parallel = bag.makespan(&parallel, |_| 0.0);
+        assert_eq!(ms_serial, SimDuration::from_secs(80));
+        assert_eq!(ms_parallel, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn makespan_penalizes_loaded_hosts() {
+        let bag = BagOfTasks::generate(2, SimDuration::from_secs(10), 0.0, 3);
+        let ms = bag.makespan(&[h(1), h(2)], |host| if host == h(2) { 1.0 } else { 0.0 });
+        assert_eq!(ms, SimDuration::from_secs(20), "loaded host runs at half speed");
+    }
+}
+
+/// A staged pipeline application — the third §4.3 application shape
+/// ("other modeling applications"): data flows through `stages`
+/// sequential stages, each hosted on one machine; inter-stage hand-offs
+/// pay the link latency between the hosting domains.
+#[derive(Debug, Clone)]
+pub struct PipelineApp {
+    /// Per-stage compute time per item on an unloaded host.
+    pub stage_cost: Vec<SimDuration>,
+    /// Items flowing through the pipeline.
+    pub items: u64,
+}
+
+impl PipelineApp {
+    /// A uniform pipeline: `stages` stages of `per_stage` each.
+    pub fn uniform(stages: usize, per_stage: SimDuration, items: u64) -> Self {
+        assert!(stages > 0, "a pipeline needs at least one stage");
+        PipelineApp { stage_cost: vec![per_stage; stages], items }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.stage_cost.len()
+    }
+
+    /// Predicted completion time when stage `i` runs on
+    /// `assignment[i]`.
+    ///
+    /// Steady-state pipeline throughput is set by the bottleneck stage:
+    /// its compute (slowed by host load) plus the hand-off latency to
+    /// the next stage. Completion ≈ fill time + items × bottleneck
+    /// period.
+    pub fn completion(
+        &self,
+        fabric: &Arc<Fabric>,
+        assignment: &[Loid],
+        load_of: impl Fn(Loid) -> f64,
+    ) -> SimDuration {
+        assert_eq!(assignment.len(), self.stages(), "assignment/stage count mismatch");
+        let stage_period = |i: usize| -> u64 {
+            let compute =
+                self.stage_cost[i].mul_f64(1.0 + load_of(assignment[i]).max(0.0)).as_micros();
+            let handoff = if i + 1 < self.stages() {
+                let (a, b) =
+                    (fabric.domain_of(assignment[i]), fabric.domain_of(assignment[i + 1]));
+                fabric.topology(|t| t.latency(a, b)).as_micros()
+            } else {
+                0
+            };
+            compute + handoff
+        };
+        let periods: Vec<u64> = (0..self.stages()).map(stage_period).collect();
+        let bottleneck = periods.iter().copied().max().unwrap_or(0);
+        let fill: u64 = periods.iter().sum();
+        SimDuration::from_micros(fill + self.items.saturating_sub(1) * bottleneck)
+    }
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+    use legion_core::LoidKind;
+    use legion_fabric::{DomainId, DomainTopology, Fabric};
+
+    fn h(i: u64) -> Loid {
+        Loid::synthetic(LoidKind::Host, i)
+    }
+
+    fn fabric2() -> Arc<Fabric> {
+        let f = Fabric::new(
+            DomainTopology::uniform(2, SimDuration::from_micros(100), SimDuration::from_millis(25)),
+            1,
+        );
+        f.place(h(1), DomainId(0));
+        f.place(h(2), DomainId(0));
+        f.place(h(3), DomainId(1));
+        f
+    }
+
+    #[test]
+    fn bottleneck_sets_throughput() {
+        let f = fabric2();
+        let app = PipelineApp::uniform(2, SimDuration::from_millis(10), 100);
+        // Same-domain stages: bottleneck ≈ 10 ms + 0.1 ms handoff.
+        let local = app.completion(&f, &[h(1), h(2)], |_| 0.0);
+        // Cross-domain stages: bottleneck ≈ 10 ms + 25 ms handoff.
+        let wide = app.completion(&f, &[h(1), h(3)], |_| 0.0);
+        assert!(wide.as_micros() > 3 * local.as_micros(), "{wide} vs {local}");
+    }
+
+    #[test]
+    fn load_slows_the_bottleneck_stage() {
+        let f = fabric2();
+        let app = PipelineApp::uniform(3, SimDuration::from_millis(10), 50);
+        let idle = app.completion(&f, &[h(1), h(2), h(1)], |_| 0.0);
+        let loaded = app.completion(&f, &[h(1), h(2), h(1)], |host| {
+            if host == h(2) { 2.0 } else { 0.0 }
+        });
+        // Stage 2 runs at 1/3 speed: period 30 ms instead of 10.
+        assert!(loaded.as_micros() > 2 * idle.as_micros());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_assignment_length_panics() {
+        let f = fabric2();
+        let app = PipelineApp::uniform(2, SimDuration::from_millis(1), 1);
+        app.completion(&f, &[h(1)], |_| 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Contention experiments: E-F7 (Random), E-F8 (IRS vs Random), and
+//! E-X3 (k-of-n slack).
+
+use crate::table::{pct, Table};
+use crate::testbed::{Testbed, TestbedConfig};
+use legion_core::{PlacementRequest, ReservationRequest, ReservationType, SimDuration};
+use legion_schedule::Enactor;
+use legion_schedulers::{
+    IrsScheduler, KOfNScheduler, RandomScheduler, ScheduleDriver, Scheduler,
+};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Blocks `frac` of the bed's hosts with whole-machine reservations, so
+/// only the remainder can accept work.
+fn block_fraction(tb: &Testbed, class: legion_core::Loid, frac: f64, seed: u64) {
+    let n = tb.unix_hosts.len();
+    let k = (n as f64 * frac).round() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
+    for &i in order.iter().take(k) {
+        let h = &tb.unix_hosts[i];
+        let vault = legion_core::HostObject::get_compatible_vaults(&**h)[0];
+        let req = ReservationRequest::instantaneous(class, vault, SimDuration::from_secs(1 << 20))
+            .with_type(ReservationType::REUSABLE_SPACE);
+        legion_core::HostObject::make_reservation(&**h, &req, tb.fabric.clock().now())
+            .expect("blocking reservation");
+    }
+}
+
+const TRIALS: usize = 30;
+
+/// E-F7: the Fig. 7 Random scheduler's success rate and cost as system
+/// utilization rises. The paper's claim: adequate ("90%") at low load,
+/// degrading under contention because one master schedule with no
+/// variants is all it produces.
+pub fn e_f7_random() -> Table {
+    let mut t = Table::new(
+        "E-F7",
+        "Random scheduler (Fig. 7) vs utilization: 4 instances on 16 hosts",
+        &["utilization", "success", "mean reservation calls", "mean collection queries"],
+    );
+    for (ui, util) in [0.0, 0.25, 0.5, 0.75, 0.9].into_iter().enumerate() {
+        let mut successes = 0;
+        let mut res_calls = 0u64;
+        let mut queries = 0u64;
+        for trial in 0..TRIALS {
+            let tb = Testbed::build(TestbedConfig::local(16, 1000 + trial as u64));
+            let class = tb.register_class("w", 100, 64);
+            block_fraction(&tb, class, util, 7 * trial as u64 + ui as u64);
+            tb.tick(SimDuration::from_secs(1)); // refresh Collection
+
+            let scheduler = RandomScheduler::new(trial as u64);
+            let enactor = Enactor::new(tb.fabric.clone());
+            let driver = ScheduleDriver::new(&scheduler, &enactor);
+            let before = tb.fabric.metrics().snapshot();
+            let outcome = driver.place(&PlacementRequest::new().class(class, 4), &tb.ctx());
+            let d = tb.fabric.metrics().snapshot().delta(&before);
+            res_calls += d.reservation_requests;
+            queries += d.collection_queries;
+            if outcome.is_ok() {
+                successes += 1;
+            }
+        }
+        t.row(vec![
+            format!("{:.0}%", util * 100.0),
+            pct(successes, TRIALS),
+            format!("{:.1}", res_calls as f64 / TRIALS as f64),
+            format!("{:.1}", queries as f64 / TRIALS as f64),
+        ]);
+    }
+    t
+}
+
+/// E-F8: IRS vs Random under fixed high contention. The paper's claims:
+/// IRS succeeds more often (variants + feedback) while doing fewer
+/// Collection lookups than generating the same number of schedules by
+/// repeated Random calls.
+pub fn e_f8_irs_vs_random() -> Table {
+    let mut t = Table::new(
+        "E-F8",
+        "IRS (Figs. 8-9) vs Random at 75% utilization: 2 instances on 16 hosts",
+        &[
+            "scheduler",
+            "success",
+            "mean collection queries",
+            "mean reservation calls",
+            "mean thrash",
+        ],
+    );
+    let run = |which: &str| -> Vec<String> {
+        let mut successes = 0;
+        let mut queries = 0u64;
+        let mut res_calls = 0u64;
+        let mut thrash = 0u64;
+        for trial in 0..TRIALS {
+            let tb = Testbed::build(TestbedConfig::local(16, 2000 + trial as u64));
+            let class = tb.register_class("w", 100, 64);
+            block_fraction(&tb, class, 0.75, 13 * trial as u64);
+            tb.tick(SimDuration::from_secs(1));
+
+            let enactor = Enactor::new(tb.fabric.clone());
+            let ctx = tb.ctx();
+            let request = PlacementRequest::new().class(class, 2);
+            let before = tb.fabric.metrics().snapshot();
+            let ok = match which {
+                "random" => {
+                    let s = RandomScheduler::new(trial as u64);
+                    ScheduleDriver::new(&s, &enactor).place(&request, &ctx).is_ok()
+                }
+                _ => {
+                    let s = IrsScheduler::new(trial as u64, 8);
+                    ScheduleDriver::new(&s, &enactor).place(&request, &ctx).is_ok()
+                }
+            };
+            let d = tb.fabric.metrics().snapshot().delta(&before);
+            queries += d.collection_queries;
+            res_calls += d.reservation_requests;
+            thrash += d.reservation_thrash;
+            if ok {
+                successes += 1;
+            }
+        }
+        vec![
+            which.to_string(),
+            pct(successes, TRIALS),
+            format!("{:.1}", queries as f64 / TRIALS as f64),
+            format!("{:.1}", res_calls as f64 / TRIALS as f64),
+            format!("{:.2}", thrash as f64 / TRIALS as f64),
+        ]
+    };
+    t.row(run("random"));
+    t.row(run("irs (NSched=8)"));
+    t
+}
+
+/// E-F8b: the NSched sweep — more variants per generation buy success
+/// probability at the cost of larger schedules.
+pub fn e_f8b_nsched_sweep() -> Table {
+    let mut t = Table::new(
+        "E-F8b",
+        "IRS NSched sweep at 75% utilization: 2 instances on 16 hosts",
+        &["NSched", "success", "mean variants emitted", "mean reservation calls"],
+    );
+    for nsched in [1usize, 2, 4, 8, 16] {
+        let mut successes = 0;
+        let mut variants = 0usize;
+        let mut res_calls = 0u64;
+        for trial in 0..TRIALS {
+            let tb = Testbed::build(TestbedConfig::local(16, 3000 + trial as u64));
+            let class = tb.register_class("w", 100, 64);
+            block_fraction(&tb, class, 0.75, 17 * trial as u64);
+            tb.tick(SimDuration::from_secs(1));
+
+            let s = IrsScheduler::new(trial as u64, nsched);
+            let sched = s
+                .compute_schedule(&PlacementRequest::new().class(class, 2), &tb.ctx())
+                .expect("schedule");
+            variants += sched.schedules[0].variants.len();
+
+            let enactor = Enactor::new(tb.fabric.clone());
+            let before = tb.fabric.metrics().snapshot();
+            if enactor.make_reservations(&sched).reserved() {
+                successes += 1;
+            }
+            res_calls +=
+                tb.fabric.metrics().snapshot().delta(&before).reservation_requests;
+        }
+        t.row(vec![
+            nsched.to_string(),
+            pct(successes, TRIALS),
+            format!("{:.1}", variants as f64 / TRIALS as f64),
+            format!("{:.1}", res_calls as f64 / TRIALS as f64),
+        ]);
+    }
+    t
+}
+
+/// E-X3: k-of-n success as spare slack grows, with a quarter of the
+/// equivalence class blocked.
+pub fn e_x3_k_of_n() -> Table {
+    let mut t = Table::new(
+        "E-X3",
+        "k-of-n success vs spare slack (n = 12 hosts, 3 randomly blocked)",
+        &["k", "slack n-k", "success", "successes via variant"],
+    );
+    for k in [4u32, 6, 8, 10, 12] {
+        let mut successes = 0;
+        let mut variant_successes = 0usize;
+        for trial in 0..TRIALS {
+            let tb = Testbed::build(TestbedConfig::local(12, 4000 + trial as u64));
+            let class = tb.register_class("w", 100, 64);
+            block_fraction(&tb, class, 0.25, 19 * trial as u64);
+            tb.tick(SimDuration::from_secs(1));
+
+            let s = KOfNScheduler::new();
+            let Ok(sched) =
+                s.compute_schedule(&PlacementRequest::new().class(class, k), &tb.ctx())
+            else {
+                continue;
+            };
+            let enactor = Enactor::new(tb.fabric.clone());
+            let fb = enactor.make_reservations(&sched);
+            if fb.reserved() {
+                successes += 1;
+                if let legion_schedule::ScheduleOutcome::Reserved { variant: Some(_), .. } =
+                    fb.outcome
+                {
+                    variant_successes += 1;
+                }
+            }
+        }
+        t.row(vec![
+            k.to_string(),
+            (12 - k).to_string(),
+            pct(successes, TRIALS),
+            variant_successes.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E-F8c: variant *structuring* ablation — Fig. 8's joint redraw vs the
+/// "more sophisticated Scheduler" (§4.2) emitting single-position
+/// variants. Same NSched, same contention; the per-position structure
+/// lets the Enactor's bitmap walk repair failed positions independently,
+/// which is exactly how the paper says Schedulers and Enactor "work
+/// together ... to avoid reservation thrashing".
+pub fn e_f8c_variant_structure() -> Table {
+    let mut t = Table::new(
+        "E-F8c",
+        "IRS variant structuring at 75% utilization: 4 instances on 16 hosts, NSched=8",
+        &["variant structure", "success", "mean reservation calls", "mean thrash"],
+    );
+    for per_position in [false, true] {
+        let mut successes = 0;
+        let mut res_calls = 0u64;
+        let mut thrash = 0u64;
+        for trial in 0..TRIALS {
+            let tb = Testbed::build(TestbedConfig::local(16, 6000 + trial as u64));
+            let class = tb.register_class("w", 100, 64);
+            block_fraction(&tb, class, 0.75, 29 * trial as u64);
+            tb.tick(SimDuration::from_secs(1));
+
+            let s = if per_position {
+                IrsScheduler::new(trial as u64, 8).per_position()
+            } else {
+                IrsScheduler::new(trial as u64, 8)
+            };
+            let sched = s
+                .compute_schedule(&PlacementRequest::new().class(class, 4), &tb.ctx())
+                .expect("schedule");
+            let enactor = Enactor::new(tb.fabric.clone());
+            let before = tb.fabric.metrics().snapshot();
+            if enactor.make_reservations(&sched).reserved() {
+                successes += 1;
+            }
+            let d = tb.fabric.metrics().snapshot().delta(&before);
+            res_calls += d.reservation_requests;
+            thrash += d.reservation_thrash;
+        }
+        t.row(vec![
+            if per_position { "per-position (sophisticated)" } else { "joint redraw (Fig. 8)" }
+                .to_string(),
+            pct(successes, TRIALS),
+            format!("{:.1}", res_calls as f64 / TRIALS as f64),
+            format!("{:.2}", thrash as f64 / TRIALS as f64),
+        ]);
+    }
+    t
+}

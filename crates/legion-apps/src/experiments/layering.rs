@@ -1,0 +1,38 @@
+//! E-F2: the cost of the four Fig. 2 layering schemes.
+
+use crate::table::Table;
+use crate::testbed::{Testbed, TestbedConfig};
+use legion_schedule::Enactor;
+use legion_schedulers::{place_layered, LayeringScheme};
+use legion_core::SimDuration;
+
+/// E-F2: place the same 8-object application under each layering and
+/// report the fabric cost. The paper's claim: "cost ... scales with
+/// capability" — the fully separated layering pays more messages for
+/// its flexibility, but every layering works.
+pub fn e_f2_layering() -> Table {
+    let mut t = Table::new(
+        "E-F2",
+        "Layering schemes (Fig. 2): 8 instances on 16 hosts, per-scheme fabric cost",
+        &["scheme", "placed", "messages", "collection queries", "sim latency (ms)"],
+    );
+    for scheme in LayeringScheme::ALL {
+        let tb = Testbed::build(TestbedConfig::local(16, 321));
+        let class = tb.register_class("w", 25, 64);
+        tb.tick(SimDuration::from_secs(1));
+        let enactor = Enactor::new(tb.fabric.clone());
+        let before = tb.fabric.metrics().snapshot();
+        let placed = place_layered(scheme, &tb.ctx(), &enactor, class, 8, 99)
+            .map(|v| v.len())
+            .unwrap_or(0);
+        let d = tb.fabric.metrics().snapshot().delta(&before);
+        t.row(vec![
+            scheme.label().to_string(),
+            placed.to_string(),
+            d.messages.to_string(),
+            d.collection_queries.to_string(),
+            format!("{:.3}", d.sim_latency_us as f64 / 1e3),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,99 @@
+//! E-X6: Network Objects (§6 future work) — bandwidth admission on
+//! inter-domain links.
+
+use crate::table::Table;
+use crate::testbed::{Testbed, TestbedConfig};
+use legion_core::{PlacementRequest, SimDuration};
+use legion_network::{grid_edges, NetworkBroker, NetworkDirectory};
+use legion_schedulers::{GridSpec, Scheduler, StencilScheduler};
+
+/// E-X6: successive 4×4 stencil applications are placed across two
+/// domains; each placement's boundary halo traffic needs bandwidth on
+/// the inter-domain link (40 Mbps of a 100 Mbps link). The Network
+/// Broker co-allocates link reservations with the same all-or-nothing
+/// discipline as the Enactor — the third application is refused, and a
+/// single-domain fallback placement (no WAN traffic) still succeeds.
+pub fn e_x6_network_objects() -> Table {
+    let mut t = Table::new(
+        "E-X6",
+        "Network Objects: successive cross-domain stencil apps on a 100 Mbps link (40 Mbps each)",
+        &["app", "placement", "link demand (Mbps)", "granted", "link held after (Mbps)"],
+    );
+
+    let tb = Testbed::build(TestbedConfig::wide(2, 8, 808));
+    let grid = GridSpec::new(4, 4);
+    let class = tb.register_class("wide-app", 10, 32);
+    tb.tick(SimDuration::from_secs(1));
+
+    let netdir = NetworkDirectory::for_fabric(&tb.fabric, 100, 3);
+    let broker = NetworkBroker::new(netdir);
+    let scheduler = StencilScheduler::new(grid);
+
+    for app in 1..=3 {
+        // The stencil scheduler splits the 4x4 grid across the two
+        // domains (8 hosts each): one row of vertical edges crosses the
+        // WAN, 4 edges x 10 Mbps = 40 Mbps.
+        let sched = scheduler
+            .compute_schedule(&PlacementRequest::new().class(class, 16), &tb.ctx())
+            .expect("stencil schedule");
+        let hosts: Vec<_> =
+            sched.schedules[0].master.mappings.iter().map(|m| m.host).collect();
+        let edges = grid_edges(&hosts, grid.rows, grid.cols, 10);
+        let demand = NetworkBroker::demand_for_edges(&tb.fabric, &edges);
+        let demand_total: u32 = demand.values().sum();
+
+        let now = tb.fabric.clock().now();
+        let granted = broker
+            .reserve(class, &demand, SimDuration::from_secs(3600), now)
+            .map(|plan| {
+                broker.confirm(&plan, now).expect("confirm");
+                true
+            })
+            .unwrap_or(false);
+
+        let held = broker
+            .directory()
+            .lookup(legion_fabric::DomainId(0), legion_fabric::DomainId(1))
+            .map(|l| l.held_mbps(now + SimDuration::from_secs(1)))
+            .unwrap_or(0);
+
+        let placement = if granted {
+            "cross-domain (banded)".to_string()
+        } else {
+            // Fallback: place entirely inside domain 0 — no WAN demand.
+            let single = fallback_single_domain(&tb, class, grid);
+            format!("single-domain fallback ({single})")
+        };
+        t.row(vec![
+            format!("app {app}"),
+            placement,
+            demand_total.to_string(),
+            if granted { "yes" } else { "no (link full)" }.to_string(),
+            held.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Places the app on domain-0 hosts only; returns "ok" or "failed".
+fn fallback_single_domain(tb: &Testbed, class: legion_core::Loid, grid: GridSpec) -> &'static str {
+    let scheduler = StencilScheduler::new(grid);
+    let req = PlacementRequest::new()
+        .class_where(class, grid.len() as u32, r#"$host_domain == "site0.edu""#);
+    match scheduler.compute_schedule(&req, &tb.ctx()) {
+        Ok(sched) => {
+            // All mappings in one domain ⇒ zero inter-domain edges.
+            let all_local = sched.schedules[0]
+                .master
+                .mappings
+                .iter()
+                .all(|m| tb.fabric.domain_of(m.host) == legion_fabric::DomainId(0));
+            if all_local {
+                "ok"
+            } else {
+                "failed"
+            }
+        }
+        Err(_) => "failed",
+    }
+}

@@ -1,0 +1,25 @@
+//! Workloads, testbeds and the experiment harness.
+//!
+//! The paper closes with "We are in the process of benchmarking the
+//! current system so that we can measure the improvement in performance
+//! as we develop more intelligent Schedulers" (§6). This crate is that
+//! benchmarking apparatus:
+//!
+//! * [`Testbed`] builds reproducible metacomputing fabrics — domains,
+//!   Unix/SMP/batch hosts, vaults, a populated Collection with pull
+//!   daemon — from a [`TestbedConfig`];
+//! * [`apps`] models the §4.3 application classes (bag-of-tasks
+//!   parameter studies and 2-D stencil simulations) so experiments can
+//!   score placements by predicted completion time;
+//! * [`experiments`] regenerates every paper exhibit's quantitative
+//!   experiment (the E-* index in DESIGN.md), each returning a
+//!   [`Table`] the `experiments` binary prints.
+
+pub mod apps;
+pub mod experiments;
+pub mod table;
+pub mod testbed;
+
+pub use apps::{BagOfTasks, PipelineApp, StencilApp};
+pub use table::Table;
+pub use testbed::{LoadRegime, Testbed, TestbedConfig};

@@ -1,0 +1,206 @@
+//! Shape checks on the experiment suite: each experiment must not only
+//! run, it must reproduce the *direction* of the paper's claim.
+
+use legion_apps::experiments;
+
+fn cell(t: &legion_apps::Table, row: usize, col: &str) -> String {
+    let ci = t
+        .columns
+        .iter()
+        .position(|c| c == col)
+        .unwrap_or_else(|| panic!("no column `{col}` in {}", t.id));
+    t.rows[row][ci].clone()
+}
+
+fn num(s: &str) -> f64 {
+    s.trim_end_matches('%').parse().unwrap_or_else(|_| panic!("not numeric: {s}"))
+}
+
+#[test]
+fn e_f5_bitmap_walk_eliminates_thrash() {
+    let t = experiments::e_f5_variant_thrash();
+    assert_eq!(t.rows.len(), 2);
+    // Both strategies succeed...
+    assert_eq!(cell(&t, 0, "success"), "yes");
+    assert_eq!(cell(&t, 1, "success"), "yes");
+    // ...but only the naive walk thrashes.
+    let bitmap_thrash = num(&cell(&t, 0, "thrash (re-made reservations)"));
+    let naive_thrash = num(&cell(&t, 1, "thrash (re-made reservations)"));
+    assert_eq!(bitmap_thrash, 0.0);
+    assert!(naive_thrash >= 5.0, "naive thrash = {naive_thrash}");
+    // And the naive walk spends more reservation calls.
+    assert!(
+        num(&cell(&t, 1, "reservation calls")) > num(&cell(&t, 0, "reservation calls"))
+    );
+}
+
+#[test]
+fn e_t2_types_behave_per_table2() {
+    let t = experiments::e_t2_reservation_types();
+    assert_eq!(t.rows.len(), 4);
+    for row in 0..4 {
+        let name = cell(&t, row, "type");
+        let granted = num(&cell(&t, row, "granted"));
+        let second = cell(&t, row, "2nd start_object");
+        if name.contains("space") {
+            // Unshared: exactly one holder of the whole machine.
+            assert_eq!(granted, 1.0, "{name}");
+        } else {
+            // Shared: 8 half-CPU requests on 4 CPUs → 8 fit.
+            assert_eq!(granted, 8.0, "{name}");
+        }
+        if name.contains("one-shot") {
+            assert!(second.contains("rejected"), "{name}: {second}");
+        } else {
+            assert!(second.contains("accepted"), "{name}: {second}");
+        }
+    }
+}
+
+#[test]
+fn e_x1_stencil_scheduler_wins() {
+    let t = experiments::e_x1_stencil();
+    assert_eq!(t.rows.len(), 4);
+    let completion = |name: &str| -> f64 {
+        let row = t
+            .rows
+            .iter()
+            .position(|r| r[0] == name)
+            .unwrap_or_else(|| panic!("no row {name}"));
+        num(&cell(&t, row, "completion (s)"))
+    };
+    let stencil = completion("stencil-2d");
+    for other in ["random", "round-robin", "load-aware"] {
+        assert!(
+            stencil < completion(other),
+            "stencil ({stencil}) must beat {other} ({})",
+            completion(other)
+        );
+    }
+    // Inter-domain edges: stencil strictly fewest.
+    let edges = |name: &str| -> f64 {
+        let row = t.rows.iter().position(|r| r[0] == name).unwrap();
+        num(&cell(&t, row, "inter-domain edges"))
+    };
+    assert!(edges("stencil-2d") < edges("random"));
+}
+
+#[test]
+fn e_f2_all_layerings_work_and_cost_scales() {
+    let t = experiments::e_f2_layering();
+    assert_eq!(t.rows.len(), 4);
+    for row in 0..4 {
+        assert_eq!(cell(&t, row, "placed"), "8", "{}", t.rows[row][0]);
+    }
+    // The fully separated layering uses at least as many messages as the
+    // do-it-all application (capability costs).
+    let msgs = |row: usize| num(&cell(&t, row, "messages"));
+    assert!(msgs(3) >= msgs(0));
+}
+
+#[test]
+fn e_x5_reservation_queue_conflict_is_visible() {
+    let t = experiments::e_x5_batch_queues();
+    assert_eq!(t.rows.len(), 3, "three queue disciplines");
+    for row in 0..3 {
+        let granted = num(&cell(&t, row, "granted"));
+        let denied = num(&cell(&t, row, "denied (reservation table)"));
+        // Half-CPU jobs: the reservation table admits all 16 against
+        // 800 CPU-centis...
+        assert_eq!(granted, 16.0, "{}", t.rows[row][0]);
+        assert_eq!(denied, 0.0, "{}", t.rows[row][0]);
+        assert_eq!(num(&cell(&t, row, "completed")), granted);
+        // ...but the 8-slot queue still makes half of them wait — the
+        // paper's "unavoidable potential for conflict".
+        let wait = num(&cell(&t, row, "mean queue wait (min)"));
+        assert!(wait >= 3.0, "{}: wait {wait}", t.rows[row][0]);
+    }
+}
+
+#[test]
+fn e_x2_monitor_moves_load_off() {
+    let t = experiments::e_x2_migration();
+    assert_eq!(t.rows.len(), 2);
+    // Monitor off: nothing moves.
+    assert_eq!(num(&cell(&t, 0, "migrations")), 0.0);
+    assert_eq!(num(&cell(&t, 0, "host0 objects after")), 6.0);
+    // Monitor on: objects migrated away.
+    assert!(num(&cell(&t, 1, "migrations")) >= 1.0);
+    assert!(num(&cell(&t, 1, "host0 objects after")) < 6.0);
+}
+
+#[test]
+fn e_f8_irs_beats_random_with_fewer_lookups() {
+    let t = experiments::e_f8_irs_vs_random();
+    assert_eq!(t.rows.len(), 2);
+    let success = |row: usize| num(&cell(&t, row, "success"));
+    let queries = |row: usize| num(&cell(&t, row, "mean collection queries"));
+    // Row 0 = random, row 1 = IRS.
+    assert!(
+        success(1) > success(0) + 20.0,
+        "IRS ({}) must clearly beat Random ({})",
+        success(1),
+        success(0)
+    );
+    assert!(
+        queries(1) <= queries(0),
+        "IRS must not do more Collection lookups than Random"
+    );
+}
+
+#[test]
+fn e_x4_forecast_helps() {
+    let t = experiments::e_x4_forecast();
+    assert_eq!(t.rows.len(), 2);
+    let mean = |row: usize| num(&cell(&t, row, "mean experienced load"));
+    let p90 = |row: usize| num(&cell(&t, row, "p90 experienced load"));
+    // Row 0 = snapshot, row 1 = forecast. Deterministic seeds, so exact.
+    assert!(mean(1) <= mean(0), "forecast mean {} vs snapshot {}", mean(1), mean(0));
+    assert!(p90(1) <= p90(0), "forecast p90 {} vs snapshot {}", p90(1), p90(0));
+}
+
+#[test]
+fn e_x6_link_admission_and_fallback() {
+    let t = experiments::e_x6_network_objects();
+    assert_eq!(t.rows.len(), 3);
+    assert_eq!(cell(&t, 0, "granted"), "yes");
+    assert_eq!(cell(&t, 1, "granted"), "yes");
+    assert!(cell(&t, 2, "granted").starts_with("no"), "third app must be refused");
+    // The link never oversubscribes its 100 Mbps.
+    for row in 0..3 {
+        assert!(num(&cell(&t, row, "link held after (Mbps)")) <= 100.0);
+    }
+    // The refused app found a single-domain fallback.
+    assert!(cell(&t, 2, "placement").contains("fallback (ok)"));
+}
+
+#[test]
+fn e_x7_price_vs_turnaround_trade() {
+    let t = experiments::e_x7_economics();
+    assert_eq!(t.rows.len(), 3);
+    let row_of = |name: &str| t.rows.iter().position(|r| r[0] == name).unwrap();
+    let makespan = |name: &str| num(&cell(&t, row_of(name), "makespan (s)"));
+    let spend = |name: &str| num(&cell(&t, row_of(name), "spend (millicents)"));
+    // The trade-off: load-aware fastest, price-aware cheapest, and each
+    // beats random on its own objective.
+    assert!(makespan("load-aware") < makespan("price-aware"));
+    assert!(spend("price-aware") < spend("load-aware"));
+    assert!(makespan("load-aware") < makespan("random"));
+    assert!(spend("price-aware") < spend("random"));
+}
+
+#[test]
+fn e_f8c_per_position_variants_beat_joint() {
+    let t = experiments::e_f8c_variant_structure();
+    assert_eq!(t.rows.len(), 2);
+    let success = |row: usize| num(&cell(&t, row, "success"));
+    let thrash = |row: usize| num(&cell(&t, row, "mean thrash"));
+    // Row 0 = joint (Fig. 8), row 1 = per-position.
+    assert!(
+        success(1) > success(0),
+        "per-position ({}) must beat joint ({})",
+        success(1),
+        success(0)
+    );
+    assert!(thrash(1) < thrash(0), "per-position structure avoids thrash bait");
+}

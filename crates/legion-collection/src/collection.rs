@@ -1,0 +1,353 @@
+//! The Collection service object (Fig. 4).
+//!
+//! ```text
+//! int JoinCollection(LOID joiner);
+//! int JoinCollection(LOID joiner, LinkedList<Uval ObjAttribute>);
+//! int LeaveCollection(LegionLOID leaver);
+//! int QueryCollection(String Query, &CollectionData result);
+//! int UpdateCollectionEntry(LOID member, LinkedList<Uval ObjAttribute>);
+//! ```
+//!
+//! Join and update form the *push* model; the
+//! [`DataCollectionDaemon`](crate::daemon::DataCollectionDaemon)
+//! implements *pull*. Updates are authenticated: joining yields a
+//! [`MemberCredential`] (a keyed tag under the collection's secret) that
+//! must accompany updates and leaves — "The security facilities of
+//! Legion authenticate the caller to be sure that it is allowed to update
+//! the data in the Collection" (§3.2).
+
+use crate::inject::DerivedAttribute;
+use crate::query::{parse_query, Query};
+use crate::record::CollectionRecord;
+use legion_core::hash::KeyedTag;
+use legion_core::{AttrValue, AttributeDb, LegionError, Loid, LoidKind, SimTime};
+use legion_fabric::MetricsLedger;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Proof of membership returned by `join`, required for updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberCredential {
+    /// The member this credential authenticates.
+    pub member: Loid,
+    /// Keyed tag under the collection secret.
+    pub tag: u64,
+}
+
+/// The Collection: a queryable repository of resource descriptions.
+///
+/// ```
+/// use legion_collection::Collection;
+/// use legion_core::{AttributeDb, Loid, LoidKind, SimTime};
+///
+/// let c = Collection::new(42);
+/// let host = Loid::fresh(LoidKind::Host);
+/// let cred = c.join_with(
+///     host,
+///     AttributeDb::new()
+///         .with("host_os_name", "IRIX")
+///         .with("host_os_version", "5.3")
+///         .with("host_load", 0.2),
+///     SimTime::ZERO,
+/// );
+///
+/// // The paper's §3.2 query: IRIX 5.x hosts.
+/// let hits = c
+///     .query(r#"match($host_os_name, "IRIX") and match("5\..*", $host_os_version)"#)
+///     .unwrap();
+/// assert_eq!(hits.len(), 1);
+///
+/// // Push-model refresh requires the membership credential.
+/// c.update(&cred, &AttributeDb::new().with("host_load", 0.9), SimTime::from_secs(30))
+///     .unwrap();
+/// assert!(c.query("$host_load > 0.5").unwrap().len() == 1);
+/// ```
+pub struct Collection {
+    loid: Loid,
+    secret: u64,
+    records: RwLock<BTreeMap<Loid, CollectionRecord>>,
+    derived: RwLock<Vec<DerivedAttribute>>,
+    metrics: RwLock<Option<Arc<MetricsLedger>>>,
+}
+
+impl Collection {
+    /// An empty collection whose credentials derive from `secret`.
+    pub fn new(secret: u64) -> Arc<Self> {
+        Arc::new(Collection {
+            loid: Loid::fresh(LoidKind::Service),
+            secret,
+            records: RwLock::new(BTreeMap::new()),
+            derived: RwLock::new(Vec::new()),
+            metrics: RwLock::new(None),
+        })
+    }
+
+    /// This collection's identifier.
+    pub fn loid(&self) -> Loid {
+        self.loid
+    }
+
+    /// Attaches the fabric metrics ledger.
+    pub fn set_metrics(&self, m: Arc<MetricsLedger>) {
+        *self.metrics.write() = Some(m);
+    }
+
+    fn bump(&self, f: impl FnOnce(&MetricsLedger)) {
+        if let Some(m) = self.metrics.read().as_ref() {
+            f(m);
+        }
+    }
+
+    fn credential_for(&self, member: Loid) -> MemberCredential {
+        let mut t = KeyedTag::new(self.secret);
+        t.write_u64(member.digest());
+        MemberCredential { member, tag: t.finish() }
+    }
+
+    fn authenticate(&self, cred: &MemberCredential) -> Result<(), LegionError> {
+        if *cred == self.credential_for(cred.member) {
+            Ok(())
+        } else {
+            Err(LegionError::AuthFailed)
+        }
+    }
+
+    /// `JoinCollection(LOID)` — joins with an empty record.
+    pub fn join(&self, joiner: Loid, now: SimTime) -> MemberCredential {
+        self.join_with(joiner, AttributeDb::new(), now)
+    }
+
+    /// `JoinCollection(LOID, attrs)` — joins with initial description.
+    pub fn join_with(
+        &self,
+        joiner: Loid,
+        attrs: AttributeDb,
+        now: SimTime,
+    ) -> MemberCredential {
+        self.records
+            .write()
+            .insert(joiner, CollectionRecord::new(joiner, attrs, now));
+        self.bump(|m| MetricsLedger::bump(&m.collection_updates));
+        self.credential_for(joiner)
+    }
+
+    /// `LeaveCollection(LOID)`.
+    pub fn leave(&self, cred: &MemberCredential) -> Result<(), LegionError> {
+        self.authenticate(cred)?;
+        self.records
+            .write()
+            .remove(&cred.member)
+            .map(|_| ())
+            .ok_or(LegionError::NoSuchObject(cred.member))
+    }
+
+    /// `UpdateCollectionEntry(LOID, attrs)` — push-model refresh; merges
+    /// `attrs` over the existing record.
+    pub fn update(
+        &self,
+        cred: &MemberCredential,
+        attrs: &AttributeDb,
+        now: SimTime,
+    ) -> Result<(), LegionError> {
+        self.authenticate(cred)?;
+        let mut records = self.records.write();
+        let rec = records
+            .get_mut(&cred.member)
+            .ok_or(LegionError::NoSuchObject(cred.member))?;
+        rec.attrs.merge_from(attrs);
+        rec.updated_at = now;
+        self.bump(|m| MetricsLedger::bump(&m.collection_updates));
+        Ok(())
+    }
+
+    /// Replaces a record's attributes wholesale (pull-daemon refresh).
+    pub fn replace(
+        &self,
+        cred: &MemberCredential,
+        attrs: AttributeDb,
+        now: SimTime,
+    ) -> Result<(), LegionError> {
+        self.authenticate(cred)?;
+        let mut records = self.records.write();
+        let rec = records
+            .get_mut(&cred.member)
+            .ok_or(LegionError::NoSuchObject(cred.member))?;
+        rec.attrs = attrs;
+        rec.updated_at = now;
+        self.bump(|m| MetricsLedger::bump(&m.collection_updates));
+        Ok(())
+    }
+
+    /// `QueryCollection(String, &result)` — parses and runs a query.
+    pub fn query(&self, query: &str) -> Result<Vec<CollectionRecord>, LegionError> {
+        let q = parse_query(query)?;
+        Ok(self.query_parsed(&q))
+    }
+
+    /// Runs a pre-compiled query (Schedulers reuse compiled queries).
+    pub fn query_parsed(&self, query: &Query) -> Vec<CollectionRecord> {
+        self.bump(|m| MetricsLedger::bump(&m.collection_queries));
+        let derived = self.derived.read();
+        let records = self.records.read();
+        let mut out = Vec::new();
+        for rec in records.values() {
+            self.bump(|m| MetricsLedger::bump(&m.collection_records_scanned));
+            if derived.is_empty() {
+                if query.matches(&rec.attrs) {
+                    out.push(rec.clone());
+                }
+            } else {
+                // Function injection: extend the record view with derived
+                // attributes before evaluation, and return the extended
+                // view so Schedulers can read forecasts too.
+                let mut view = rec.attrs.clone();
+                for d in derived.iter() {
+                    if let Some((name, value)) = d.compute(rec.member, &view) {
+                        view.set(name, value);
+                    }
+                }
+                if query.matches(&view) {
+                    let mut r = rec.clone();
+                    r.attrs = view;
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns every record (diagnostics; not part of Fig. 4).
+    pub fn dump(&self) -> Vec<CollectionRecord> {
+        self.records.read().values().cloned().collect()
+    }
+
+    /// Reads one member's record.
+    pub fn get(&self, member: Loid) -> Option<CollectionRecord> {
+        self.records.read().get(&member).cloned()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Whether the collection has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+
+    /// Installs a derived-attribute function (function injection, §3.2).
+    pub fn install_function(&self, f: DerivedAttribute) {
+        self.derived.write().push(f);
+    }
+
+    /// Maximum staleness across records at `now`.
+    pub fn max_staleness(&self, now: SimTime) -> legion_core::SimDuration {
+        self.records
+            .read()
+            .values()
+            .map(|r| r.staleness(now))
+            .max()
+            .unwrap_or(legion_core::SimDuration::ZERO)
+    }
+
+    /// Convenience for members: read an attribute from a record.
+    pub fn member_attr(&self, member: Loid, name: &str) -> Option<AttrValue> {
+        self.records.read().get(&member).and_then(|r| r.attrs.get(name).cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host_attrs(os: &str, load: f64) -> AttributeDb {
+        AttributeDb::new().with("host_os_name", os).with("host_load", load)
+    }
+
+    fn l(seq: u64) -> Loid {
+        Loid::synthetic(LoidKind::Host, seq)
+    }
+
+    #[test]
+    fn join_query_roundtrip() {
+        let c = Collection::new(42);
+        c.join_with(l(1), host_attrs("IRIX", 0.2), SimTime::ZERO);
+        c.join_with(l(2), host_attrs("Linux", 0.9), SimTime::ZERO);
+        let rs = c.query(r#"match($host_os_name, "IRIX")"#).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].member, l(1));
+    }
+
+    #[test]
+    fn update_requires_credential() {
+        let c = Collection::new(42);
+        let cred = c.join_with(l(1), host_attrs("IRIX", 0.2), SimTime::ZERO);
+        // Forged credential (wrong tag) is rejected.
+        let forged = MemberCredential { member: l(1), tag: cred.tag ^ 1 };
+        assert!(matches!(
+            c.update(&forged, &host_attrs("IRIX", 0.9), SimTime::ZERO),
+            Err(LegionError::AuthFailed)
+        ));
+        // Genuine credential works and merges.
+        c.update(&cred, &AttributeDb::new().with("host_load", 0.9), SimTime::from_secs(5))
+            .unwrap();
+        let rec = c.get(l(1)).unwrap();
+        assert_eq!(rec.attrs.get_f64("host_load"), Some(0.9));
+        assert_eq!(rec.attrs.get_str("host_os_name"), Some("IRIX")); // merge kept it
+        assert_eq!(rec.updated_at, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn credential_does_not_transfer_between_members() {
+        let c = Collection::new(42);
+        let cred1 = c.join(l(1), SimTime::ZERO);
+        c.join(l(2), SimTime::ZERO);
+        let cross = MemberCredential { member: l(2), tag: cred1.tag };
+        assert!(matches!(
+            c.update(&cross, &AttributeDb::new(), SimTime::ZERO),
+            Err(LegionError::AuthFailed)
+        ));
+    }
+
+    #[test]
+    fn leave_removes_record() {
+        let c = Collection::new(42);
+        let cred = c.join(l(1), SimTime::ZERO);
+        assert_eq!(c.len(), 1);
+        c.leave(&cred).unwrap();
+        assert!(c.is_empty());
+        assert!(matches!(c.leave(&cred), Err(LegionError::NoSuchObject(_))));
+    }
+
+    #[test]
+    fn bad_query_is_reported() {
+        let c = Collection::new(42);
+        assert!(matches!(c.query("$a >"), Err(LegionError::BadQuery(_))));
+    }
+
+    #[test]
+    fn staleness_tracked() {
+        let c = Collection::new(42);
+        let cred = c.join(l(1), SimTime::ZERO);
+        c.replace(&cred, AttributeDb::new(), SimTime::from_secs(10)).unwrap();
+        assert_eq!(
+            c.max_staleness(SimTime::from_secs(25)),
+            legion_core::SimDuration::from_secs(15)
+        );
+    }
+
+    #[test]
+    fn derived_attributes_visible_to_queries() {
+        let c = Collection::new(42);
+        c.join_with(l(1), host_attrs("IRIX", 0.4), SimTime::ZERO);
+        c.install_function(DerivedAttribute::new("host_load_doubled", |_, attrs| {
+            attrs.get_f64("host_load").map(|v| AttrValue::Float(v * 2.0))
+        }));
+        let rs = c.query("$host_load_doubled == 0.8").unwrap();
+        assert_eq!(rs.len(), 1);
+        // The returned view carries the derived value.
+        assert_eq!(rs[0].attrs.get_f64("host_load_doubled"), Some(0.8));
+    }
+}

@@ -1,0 +1,203 @@
+//! The Data Collection Daemon — the pull model.
+//!
+//! "We are implementing an intermediate agent, the Data Collection
+//! Daemon, which pulls data from Hosts and pushes it into Collections."
+//! (§3.1, footnote) — Collections, plural: "If a push model is being
+//! used, it will then deposit information into its known Collection(s)."
+//! The daemon therefore fans each host snapshot out to every registered
+//! target Collection.
+//!
+//! Each `pull_once` sweep reads every registered host's attribute
+//! database and replaces its record in every target, optionally feeding
+//! a [`LoadForecaster`] so forecast injection stays current. The sweep
+//! interval bounds record staleness — experiment E-F4 measures the
+//! push-vs-pull freshness trade-off.
+
+use crate::collection::{Collection, MemberCredential};
+use crate::inject::LoadForecaster;
+use legion_core::host::well_known;
+use legion_core::{HostObject, Loid, SimTime};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+struct Target {
+    collection: Arc<Collection>,
+    credentials: BTreeMap<Loid, MemberCredential>,
+}
+
+/// Pulls host state into one or more Collections on demand.
+pub struct DataCollectionDaemon {
+    targets: RwLock<Vec<Target>>,
+    hosts: RwLock<Vec<Arc<dyn HostObject>>>,
+    forecaster: RwLock<Option<Arc<LoadForecaster>>>,
+    pulls: RwLock<u64>,
+}
+
+impl DataCollectionDaemon {
+    /// A daemon feeding `collection`.
+    pub fn new(collection: Arc<Collection>) -> Arc<Self> {
+        let d = Arc::new(DataCollectionDaemon {
+            targets: RwLock::new(Vec::new()),
+            hosts: RwLock::new(Vec::new()),
+            forecaster: RwLock::new(None),
+            pulls: RwLock::new(0),
+        });
+        d.add_collection(collection);
+        d
+    }
+
+    /// Registers an additional target Collection; subsequent sweeps push
+    /// into it too.
+    pub fn add_collection(&self, collection: Arc<Collection>) {
+        self.targets
+            .write()
+            .push(Target { collection, credentials: BTreeMap::new() });
+    }
+
+    /// Number of target Collections.
+    pub fn collection_count(&self) -> usize {
+        self.targets.read().len()
+    }
+
+    /// Registers a host to be swept.
+    pub fn track_host(&self, host: Arc<dyn HostObject>) {
+        self.hosts.write().push(host);
+    }
+
+    /// Attaches a forecaster fed with every pulled load sample.
+    pub fn feed_forecaster(&self, f: Arc<LoadForecaster>) {
+        *self.forecaster.write() = Some(f);
+    }
+
+    /// Number of sweeps performed.
+    pub fn pull_count(&self) -> u64 {
+        *self.pulls.read()
+    }
+
+    /// Sweeps all tracked hosts once: read attributes, push the snapshot
+    /// to every target Collection (joining on first contact). Returns
+    /// the number of (host, collection) records refreshed.
+    pub fn pull_once(&self, now: SimTime) -> usize {
+        let hosts: Vec<Arc<dyn HostObject>> = self.hosts.read().clone();
+        let mut refreshed = 0;
+        for host in hosts {
+            let loid = host.loid();
+            let attrs = host.attributes();
+            if let Some(f) = self.forecaster.read().as_ref() {
+                if let Some(load) = attrs.get_f64(well_known::LOAD) {
+                    f.observe(loid, load);
+                }
+            }
+            let mut targets = self.targets.write();
+            for t in targets.iter_mut() {
+                match t.credentials.get(&loid) {
+                    Some(cred) => {
+                        // Replace wholesale: the pull model snapshots
+                        // state.
+                        if t.collection.replace(cred, attrs.clone(), now).is_ok() {
+                            refreshed += 1;
+                        }
+                    }
+                    None => {
+                        let cred = t.collection.join_with(loid, attrs.clone(), now);
+                        t.credentials.insert(loid, cred);
+                        refreshed += 1;
+                    }
+                }
+            }
+        }
+        *self.pulls.write() += 1;
+        refreshed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::{VaultDirectory, VaultObject};
+    use legion_hosts::{HostConfig, StandardHost};
+
+    #[derive(Default)]
+    struct EmptyDir;
+
+    impl VaultDirectory for EmptyDir {
+        fn lookup_vault(&self, _: Loid) -> Option<Arc<dyn VaultObject>> {
+            None
+        }
+
+        fn vault_loids(&self) -> Vec<Loid> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn pull_joins_then_replaces() {
+        let c = Collection::new(7);
+        let d = DataCollectionDaemon::new(Arc::clone(&c));
+        let h = StandardHost::new(HostConfig::unix("h0", "uva.edu"), Arc::new(EmptyDir), 1);
+        d.track_host(h.clone());
+
+        assert_eq!(d.pull_once(SimTime::ZERO), 1);
+        assert_eq!(c.len(), 1);
+        let rec = c.get(h.loid()).unwrap();
+        assert_eq!(rec.attrs.get_str("host_name"), Some("h0"));
+
+        // Second pull replaces, bumping updated_at.
+        h.reassess(SimTime::from_secs(5));
+        assert_eq!(d.pull_once(SimTime::from_secs(5)), 1);
+        let rec = c.get(h.loid()).unwrap();
+        assert_eq!(rec.updated_at, SimTime::from_secs(5));
+        assert_eq!(d.pull_count(), 2);
+    }
+
+    #[test]
+    fn forecaster_gets_fed() {
+        let c = Collection::new(7);
+        let d = DataCollectionDaemon::new(Arc::clone(&c));
+        let h = StandardHost::new(HostConfig::unix("h0", "uva.edu"), Arc::new(EmptyDir), 1);
+        d.track_host(h.clone());
+        let f = LoadForecaster::new(4);
+        d.feed_forecaster(Arc::clone(&f));
+        d.pull_once(SimTime::ZERO);
+        assert_eq!(f.tracked_members(), 1);
+        assert!(f.forecast(h.loid()).is_some());
+    }
+
+    #[test]
+    fn multiple_collections_all_receive_snapshots() {
+        // "deposit information into its known Collection(s)" — plural.
+        let primary = Collection::new(1);
+        let secondary = Collection::new(2);
+        let d = DataCollectionDaemon::new(Arc::clone(&primary));
+        d.add_collection(Arc::clone(&secondary));
+        assert_eq!(d.collection_count(), 2);
+
+        let h = StandardHost::new(HostConfig::unix("h0", "uva.edu"), Arc::new(EmptyDir), 1);
+        d.track_host(h.clone());
+        assert_eq!(d.pull_once(SimTime::ZERO), 2, "one record per target");
+        assert_eq!(primary.len(), 1);
+        assert_eq!(secondary.len(), 1);
+
+        // Updates reach both with independent credentials.
+        h.reassess(SimTime::from_secs(9));
+        d.pull_once(SimTime::from_secs(9));
+        assert_eq!(primary.get(h.loid()).unwrap().updated_at, SimTime::from_secs(9));
+        assert_eq!(secondary.get(h.loid()).unwrap().updated_at, SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn late_added_collection_joins_on_next_sweep() {
+        let primary = Collection::new(1);
+        let d = DataCollectionDaemon::new(Arc::clone(&primary));
+        let h = StandardHost::new(HostConfig::unix("h0", "uva.edu"), Arc::new(EmptyDir), 1);
+        d.track_host(h.clone());
+        d.pull_once(SimTime::ZERO);
+
+        let late = Collection::new(3);
+        d.add_collection(Arc::clone(&late));
+        assert!(late.is_empty());
+        d.pull_once(SimTime::from_secs(1));
+        assert_eq!(late.len(), 1);
+    }
+}

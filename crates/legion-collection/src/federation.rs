@@ -1,0 +1,181 @@
+//! Federated Collections — one repository per administrative domain.
+//!
+//! The paper consistently speaks of Collections in the plural: a Host
+//! "will then deposit information into its known Collection(s)" (§3.1).
+//! At metacomputing scale a single flat repository cannot work — each
+//! administrative domain runs its own Collection, and Schedulers query
+//! a *federation* that fans the query out and merges the results.
+//!
+//! [`FederatedCollection`] implements that pattern: member Collections
+//! are registered with a label (usually the domain name); queries
+//! compile once and evaluate against every member; results carry their
+//! origin so Schedulers can weigh locality.
+
+use crate::collection::Collection;
+use crate::query::{parse_query, Query};
+use crate::record::CollectionRecord;
+use legion_core::{LegionError, Loid};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A queryable federation of per-domain Collections.
+pub struct FederatedCollection {
+    members: RwLock<Vec<(String, Arc<Collection>)>>,
+}
+
+/// A federated query hit: the record plus which member produced it.
+#[derive(Debug, Clone)]
+pub struct FederatedRecord {
+    /// The label of the member Collection (usually a domain name).
+    pub origin: String,
+    /// The record.
+    pub record: CollectionRecord,
+}
+
+impl FederatedCollection {
+    /// An empty federation.
+    pub fn new() -> Arc<Self> {
+        Arc::new(FederatedCollection { members: RwLock::new(Vec::new()) })
+    }
+
+    /// Adds a member Collection under `label`.
+    pub fn add_member(&self, label: impl Into<String>, collection: Arc<Collection>) {
+        self.members.write().push((label.into(), collection));
+    }
+
+    /// Number of member Collections.
+    pub fn member_count(&self) -> usize {
+        self.members.read().len()
+    }
+
+    /// Total records across the federation.
+    pub fn len(&self) -> usize {
+        self.members.read().iter().map(|(_, c)| c.len()).sum()
+    }
+
+    /// Whether the federation holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queries every member with a single compiled query; results are in
+    /// member order then record order, tagged with their origin.
+    pub fn query(&self, query: &str) -> Result<Vec<FederatedRecord>, LegionError> {
+        let q = parse_query(query)?;
+        Ok(self.query_parsed(&q))
+    }
+
+    /// As [`Self::query`] over a pre-compiled query.
+    pub fn query_parsed(&self, query: &Query) -> Vec<FederatedRecord> {
+        let members = self.members.read();
+        let mut out = Vec::new();
+        for (label, c) in members.iter() {
+            for record in c.query_parsed(query) {
+                out.push(FederatedRecord { origin: label.clone(), record });
+            }
+        }
+        out
+    }
+
+    /// Queries only the named member (locality-aware Schedulers ask
+    /// their own domain first).
+    pub fn query_member(
+        &self,
+        label: &str,
+        query: &str,
+    ) -> Result<Vec<CollectionRecord>, LegionError> {
+        let members = self.members.read();
+        let (_, c) = members
+            .iter()
+            .find(|(l, _)| l == label)
+            .ok_or_else(|| LegionError::Other(format!("no member collection `{label}`")))?;
+        c.query(query)
+    }
+
+    /// Finds the member holding a record for `member_loid`.
+    pub fn locate(&self, member_loid: Loid) -> Option<String> {
+        self.members
+            .read()
+            .iter()
+            .find(|(_, c)| c.get(member_loid).is_some())
+            .map(|(l, _)| l.clone())
+    }
+}
+
+impl Default for FederatedCollection {
+    fn default() -> Self {
+        FederatedCollection { members: RwLock::new(Vec::new()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::{AttributeDb, LoidKind, SimTime};
+
+    fn domain_collection(domain: &str, hosts: u64, base_seq: u64) -> Arc<Collection> {
+        let c = Collection::new(base_seq);
+        for i in 0..hosts {
+            c.join_with(
+                Loid::synthetic(LoidKind::Host, base_seq + i),
+                AttributeDb::new()
+                    .with("host_domain", domain)
+                    .with("host_os_name", if i % 2 == 0 { "IRIX" } else { "Linux" })
+                    .with("host_load", i as f64 / 10.0),
+                SimTime::ZERO,
+            );
+        }
+        c
+    }
+
+    fn federation() -> Arc<FederatedCollection> {
+        let f = FederatedCollection::new();
+        f.add_member("uva.edu", domain_collection("uva.edu", 3, 100));
+        f.add_member("sdsc.edu", domain_collection("sdsc.edu", 4, 200));
+        f
+    }
+
+    #[test]
+    fn fans_out_and_tags_origin() {
+        let f = federation();
+        assert_eq!(f.member_count(), 2);
+        assert_eq!(f.len(), 7);
+        let hits = f.query(r#"match($host_os_name, "IRIX")"#).unwrap();
+        assert_eq!(hits.len(), 2 + 2); // ceil(3/2) + ceil(4/2)
+        assert!(hits.iter().any(|h| h.origin == "uva.edu"));
+        assert!(hits.iter().any(|h| h.origin == "sdsc.edu"));
+    }
+
+    #[test]
+    fn member_scoped_query() {
+        let f = federation();
+        let hits = f.query_member("uva.edu", "$host_load >= 0.0").unwrap();
+        assert_eq!(hits.len(), 3);
+        assert!(f.query_member("nowhere.org", "true").is_err());
+    }
+
+    #[test]
+    fn locate_finds_the_owning_member() {
+        let f = federation();
+        assert_eq!(
+            f.locate(Loid::synthetic(LoidKind::Host, 201)).as_deref(),
+            Some("sdsc.edu")
+        );
+        assert_eq!(f.locate(Loid::synthetic(LoidKind::Host, 999)), None);
+    }
+
+    #[test]
+    fn compiled_query_reused_across_members() {
+        let f = federation();
+        let q = parse_query("$host_load < 0.15").unwrap();
+        let hits = f.query_parsed(&q);
+        // loads are i/10: members contribute i ∈ {0, 1} each.
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn bad_query_reported_once() {
+        let f = federation();
+        assert!(matches!(f.query("$x >"), Err(LegionError::BadQuery(_))));
+    }
+}

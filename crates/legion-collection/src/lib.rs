@@ -1,0 +1,39 @@
+//! The Legion Collection — the RMI's information database.
+//!
+//! "The Collection acts as a repository for information describing the
+//! state of the resources comprising the system. Each record is stored as
+//! a set of Legion object attributes." (§3.2, Fig. 4)
+//!
+//! * [`Collection`] implements the Fig. 4 interface — `JoinCollection`
+//!   (with optional initial attributes), `LeaveCollection`,
+//!   `UpdateCollectionEntry` (the push model) and `QueryCollection` —
+//!   with keyed-credential authentication of updaters ("The security
+//!   facilities of Legion authenticate the caller").
+//! * [`query`] implements the query grammar of the MESSIAHS work the
+//!   paper cites: field matching, semantic comparisons, boolean
+//!   combinations, and `match(regex, $attr)` over the in-repo regex
+//!   engine.
+//! * [`DataCollectionDaemon`] is the paper's "intermediate agent ...
+//!   which pulls data from Hosts and pushes it into Collections"
+//!   (§3.1 footnote).
+//! * [`FederatedCollection`] realizes the paper's plural "known
+//!   Collection(s)": one Collection per administrative domain with
+//!   fan-out queries tagged by origin.
+//! * [`inject`] implements the planned *function injection* extension —
+//!   "the ability for users to install code to dynamically compute new
+//!   description information" — including a Network-Weather-Service-style
+//!   load forecaster.
+
+pub mod collection;
+pub mod daemon;
+pub mod federation;
+pub mod inject;
+pub mod query;
+pub mod record;
+
+pub use collection::{Collection, MemberCredential};
+pub use daemon::DataCollectionDaemon;
+pub use federation::{FederatedCollection, FederatedRecord};
+pub use inject::{DerivedAttribute, LoadForecaster};
+pub use query::{parse_query, Query};
+pub use record::CollectionRecord;

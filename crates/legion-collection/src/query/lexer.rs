@@ -1,0 +1,244 @@
+//! Query tokenizer.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `$attribute_name`.
+    Attr(String),
+    /// A quoted string literal (escapes processed).
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `and`.
+    And,
+    /// `or`.
+    Or,
+    /// `not`.
+    Not,
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// `match`.
+    Match,
+    /// `contains`.
+    Contains,
+    /// `exists`.
+    Exists,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+/// Tokenizes `input`, or returns a description of the first bad lexeme.
+pub fn lex(input: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Eq);
+                    i += 2;
+                } else {
+                    return Err("single `=`; use `==`".into());
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err("single `!`; use `!=` or `not`".into());
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '$' => {
+                i += 1;
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                if i == start {
+                    return Err("`$` must be followed by an attribute name".into());
+                }
+                out.push(Token::Attr(chars[start..i].iter().collect()));
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => return Err("unterminated string literal".into()),
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            // Keep regex escapes intact: `\.` stays `\.`,
+                            // while `\"` and `\\` unescape.
+                            match chars.get(i + 1) {
+                                Some('"') => {
+                                    s.push('"');
+                                    i += 2;
+                                }
+                                Some('\\') => {
+                                    s.push('\\');
+                                    i += 2;
+                                }
+                                Some(&c) => {
+                                    s.push('\\');
+                                    s.push(c);
+                                    i += 2;
+                                }
+                                None => return Err("dangling `\\` in string".into()),
+                            }
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    if chars[i] == '.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    out.push(Token::Float(
+                        text.parse().map_err(|e| format!("bad float `{text}`: {e}"))?,
+                    ));
+                } else {
+                    out.push(Token::Int(
+                        text.parse().map_err(|e| format!("bad integer `{text}`: {e}"))?,
+                    ));
+                }
+            }
+            c if c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                out.push(match word.as_str() {
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "not" => Token::Not,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "match" => Token::Match,
+                    "contains" => Token::Contains,
+                    "exists" => Token::Exists,
+                    other => return Err(format!("unknown keyword `{other}`")),
+                });
+            }
+            other => return Err(format!("unexpected character `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_paper_query() {
+        let toks = lex(r#"match($host_os_name, "IRIX") and match("5\..*", $v)"#).unwrap();
+        assert_eq!(toks[0], Token::Match);
+        assert_eq!(toks[2], Token::Attr("host_os_name".into()));
+        assert_eq!(toks[4], Token::Str("IRIX".into()));
+        assert!(toks.contains(&Token::And));
+        // The regex escape survives lexing.
+        assert!(toks.contains(&Token::Str("5\\..*".into())));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(lex("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(lex("-3").unwrap(), vec![Token::Int(-3)]);
+        assert_eq!(lex("2.5").unwrap(), vec![Token::Float(2.5)]);
+        assert_eq!(lex("-0.25").unwrap(), vec![Token::Float(-0.25)]);
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            lex("== != < <= > >=").unwrap(),
+            vec![Token::Eq, Token::Ne, Token::Lt, Token::Le, Token::Gt, Token::Ge]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(lex(r#""a\"b""#).unwrap(), vec![Token::Str("a\"b".into())]);
+        assert_eq!(lex(r#""a\\b""#).unwrap(), vec![Token::Str("a\\b".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("$").is_err());
+        assert!(lex("=").is_err());
+        assert!(lex("\"open").is_err());
+        assert!(lex("bogusword").is_err());
+        assert!(lex("#").is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Error taxonomy for the resource management infrastructure.
+//!
+//! The paper stresses that "Legion objects are built to accommodate
+//! failure at any step in the scheduling process" (§3.1), so the error
+//! type distinguishes the failure classes the Enactor must react to:
+//! reservation denials (retry a variant schedule), malformed schedules
+//! (report to the Scheduler), autonomy refusals (the host's prerogative)
+//! and infrastructure failures (network, unknown objects).
+
+use crate::loid::Loid;
+use std::fmt;
+
+/// Any error raised by RMI components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LegionError {
+    /// The host declined the reservation: insufficient capacity.
+    ReservationDenied {
+        /// The refusing host.
+        host: Loid,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A token failed tag verification — forged or tampered.
+    InvalidToken,
+    /// The token's confirmation timeout or duration has lapsed.
+    ReservationExpired,
+    /// A one-shot (`reuse = 0`) token was presented a second time.
+    ReservationConsumed,
+    /// The requested vault is not reachable from the host.
+    VaultUnreachable {
+        /// Host performing the check.
+        host: Loid,
+        /// The unreachable vault.
+        vault: Loid,
+    },
+    /// The vault is reachable but incompatible (architecture/domain).
+    VaultIncompatible {
+        /// Host performing the check.
+        host: Loid,
+        /// The incompatible vault.
+        vault: Loid,
+    },
+    /// Local placement policy refused the request (site autonomy, §3.1).
+    PolicyRefused {
+        /// The refusing host.
+        host: Loid,
+        /// Which policy fired.
+        policy: String,
+    },
+    /// No such object is known to the callee.
+    NoSuchObject(Loid),
+    /// The named host does not exist in the fabric.
+    NoSuchHost(Loid),
+    /// The named vault does not exist in the fabric.
+    NoSuchVault(Loid),
+    /// An OPR was requested that the vault does not hold.
+    NoSuchOpr(Loid),
+    /// The vault has no room for the OPR.
+    VaultFull(Loid),
+    /// Simulated network failure between domains.
+    NetworkFailure {
+        /// Message source.
+        from: Loid,
+        /// Message destination.
+        to: Loid,
+    },
+    /// A schedule was structurally invalid (e.g. empty master, bitmap
+    /// length mismatch). The Enactor "may report whether the failure was
+    /// due to ... a malformed schedule" (§3.4).
+    MalformedSchedule(String),
+    /// All master and variant schedules failed to reserve.
+    AllSchedulesFailed {
+        /// Number of schedules attempted.
+        attempted: usize,
+    },
+    /// A caller failed Collection authentication.
+    AuthFailed,
+    /// A query string failed to parse.
+    BadQuery(String),
+    /// The class has no implementation for any available platform.
+    NoUsableImplementation {
+        /// The class that could not be instantiated.
+        class: Loid,
+    },
+    /// Object (de)serialization failed.
+    Serialization(String),
+    /// Catch-all for extensions.
+    Other(String),
+}
+
+impl fmt::Display for LegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use LegionError::*;
+        match self {
+            ReservationDenied { host, reason } => {
+                write!(f, "host {host} denied reservation: {reason}")
+            }
+            InvalidToken => write!(f, "reservation token failed verification"),
+            ReservationExpired => write!(f, "reservation expired"),
+            ReservationConsumed => write!(f, "one-shot reservation already consumed"),
+            VaultUnreachable { host, vault } => {
+                write!(f, "vault {vault} unreachable from host {host}")
+            }
+            VaultIncompatible { host, vault } => {
+                write!(f, "vault {vault} incompatible with host {host}")
+            }
+            PolicyRefused { host, policy } => {
+                write!(f, "host {host} policy `{policy}` refused the request")
+            }
+            NoSuchObject(l) => write!(f, "no such object {l}"),
+            NoSuchHost(l) => write!(f, "no such host {l}"),
+            NoSuchVault(l) => write!(f, "no such vault {l}"),
+            NoSuchOpr(l) => write!(f, "no OPR stored for object {l}"),
+            VaultFull(l) => write!(f, "vault {l} is full"),
+            NetworkFailure { from, to } => write!(f, "network failure {from} -> {to}"),
+            MalformedSchedule(why) => write!(f, "malformed schedule: {why}"),
+            AllSchedulesFailed { attempted } => {
+                write!(f, "all {attempted} schedules failed to reserve")
+            }
+            AuthFailed => write!(f, "authentication failed"),
+            BadQuery(why) => write!(f, "bad query: {why}"),
+            NoUsableImplementation { class } => {
+                write!(f, "class {class} has no usable implementation")
+            }
+            Serialization(why) => write!(f, "serialization error: {why}"),
+            Other(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+impl std::error::Error for LegionError {}
+
+impl LegionError {
+    /// Whether the Enactor should try a variant schedule after this error.
+    ///
+    /// Resource-level denials and transient infrastructure faults are
+    /// retryable with a different mapping; malformed schedules and
+    /// authentication problems are not.
+    pub fn is_retryable(&self) -> bool {
+        use LegionError::*;
+        matches!(
+            self,
+            ReservationDenied { .. }
+                | ReservationExpired
+                | VaultUnreachable { .. }
+                | VaultIncompatible { .. }
+                | PolicyRefused { .. }
+                | NetworkFailure { .. }
+                | VaultFull(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loid::{Loid, LoidKind};
+
+    #[test]
+    fn display_is_informative() {
+        let h = Loid::synthetic(LoidKind::Host, 1);
+        let e = LegionError::PolicyRefused { host: h, policy: "domain-refusal".into() };
+        let s = e.to_string();
+        assert!(s.contains("domain-refusal"));
+        assert!(s.contains("1.02.1"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        let h = Loid::synthetic(LoidKind::Host, 1);
+        let v = Loid::synthetic(LoidKind::Vault, 1);
+        assert!(LegionError::ReservationDenied { host: h, reason: "busy".into() }.is_retryable());
+        assert!(LegionError::VaultUnreachable { host: h, vault: v }.is_retryable());
+        assert!(LegionError::NetworkFailure { from: h, to: v }.is_retryable());
+        assert!(!LegionError::MalformedSchedule("empty".into()).is_retryable());
+        assert!(!LegionError::AuthFailed.is_retryable());
+        assert!(!LegionError::InvalidToken.is_retryable());
+    }
+}

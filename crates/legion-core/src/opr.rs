@@ -1,0 +1,123 @@
+//! Object Persistent Representations.
+//!
+//! "To be executed, a Legion object must have a Vault to hold its
+//! persistent state in an Object Persistent Representation (OPR). The
+//! OPR is used for migration and for shutdown/restart purposes." (§2.1)
+//!
+//! All Legion objects support shutdown and restart, so "any active object
+//! can be migrated by shutting it down, moving the passive state to a new
+//! Vault if necessary, and activating the object on another host". The
+//! migration driver in `legion-monitor` exercises exactly this sequence.
+
+use crate::loid::Loid;
+use crate::time::SimTime;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// The serialized passive state of a deactivated object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Opr {
+    /// The object this state belongs to.
+    pub object: Loid,
+    /// The object's class.
+    pub class: Loid,
+    /// When the state was saved.
+    pub saved_at: SimTime,
+    /// Serialized state bytes (opaque to the RMI).
+    #[serde(with = "bytes_serde")]
+    pub state: Bytes,
+    /// Monotonic version; bumped on every save so a stale OPR can be
+    /// detected after migration races.
+    pub version: u64,
+    /// Memory footprint of the active object (MB), so the reactivating
+    /// host can account for it without decoding the opaque state.
+    pub memory_mb: u32,
+    /// CPU demand of the active object (hundredths of a CPU), for the
+    /// same accounting purpose.
+    pub cpu_centis: u32,
+}
+
+impl Opr {
+    /// Creates an OPR from raw state bytes.
+    pub fn new(object: Loid, class: Loid, saved_at: SimTime, state: impl Into<Bytes>) -> Self {
+        Opr { object, class, saved_at, state: state.into(), version: 1, memory_mb: 64, cpu_centis: 100 }
+    }
+
+    /// Builder: record the active object's memory footprint.
+    pub fn with_memory_mb(mut self, mb: u32) -> Self {
+        self.memory_mb = mb;
+        self
+    }
+
+    /// Builder: record the active object's CPU demand.
+    pub fn with_cpu_centis(mut self, centis: u32) -> Self {
+        self.cpu_centis = centis;
+        self
+    }
+
+    /// Size of the stored state, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Returns a copy with a bumped version and new timestamp, as written
+    /// by a subsequent deactivation.
+    pub fn resaved(&self, at: SimTime, state: impl Into<Bytes>) -> Opr {
+        Opr {
+            object: self.object,
+            class: self.class,
+            saved_at: at,
+            state: state.into(),
+            version: self.version + 1,
+            memory_mb: self.memory_mb,
+            cpu_centis: self.cpu_centis,
+        }
+    }
+}
+
+mod bytes_serde {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loid::LoidKind;
+
+    #[test]
+    fn construction_and_size() {
+        let o = Opr::new(
+            Loid::synthetic(LoidKind::Instance, 1),
+            Loid::synthetic(LoidKind::Class, 2),
+            SimTime::from_secs(1),
+            vec![0u8; 128],
+        );
+        assert_eq!(o.size_bytes(), 128);
+        assert_eq!(o.version, 1);
+    }
+
+    #[test]
+    fn resave_bumps_version() {
+        let o = Opr::new(
+            Loid::synthetic(LoidKind::Instance, 1),
+            Loid::synthetic(LoidKind::Class, 2),
+            SimTime::ZERO,
+            &b"state-v1"[..],
+        );
+        let o2 = o.resaved(SimTime::from_secs(9), &b"state-v2"[..]);
+        assert_eq!(o2.version, 2);
+        assert_eq!(o2.saved_at, SimTime::from_secs(9));
+        assert_eq!(o2.object, o.object);
+        assert_eq!(&o2.state[..], b"state-v2");
+    }
+}

@@ -1,0 +1,131 @@
+//! Placement requests — what a Scheduler is asked to place.
+//!
+//! "At a minimum, the Scheduler knows how many instances of each class
+//! must be started" (§3.3). A [`PlacementRequest`] lists the classes and
+//! instance counts; richer Schedulers also read per-class resource
+//! requirements (memory, communication) from the class's
+//! [`ClassReport`](crate::class::ClassReport) and available
+//! [`ObjectImplementation`]s.
+
+use crate::loid::Loid;
+use serde::{Deserialize, Serialize};
+
+/// One available implementation of a class.
+///
+/// Classes can have several implementations (binaries); the Scheduler
+/// "extracts the list of available implementations from the Class Object"
+/// (Fig. 7) and queries the Collection for matching hosts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ObjectImplementation {
+    /// Target architecture (e.g. `"sparc"`, `"mips"`, `"x86"`).
+    pub arch: String,
+    /// Target operating system (e.g. `"IRIX"`, `"Solaris"`, `"Linux"`).
+    pub os: String,
+}
+
+impl ObjectImplementation {
+    /// Creates an implementation descriptor.
+    pub fn new(arch: impl Into<String>, os: impl Into<String>) -> Self {
+        ObjectImplementation { arch: arch.into(), os: os.into() }
+    }
+
+    /// Whether a host with the given architecture/OS can run this
+    /// implementation.
+    pub fn runs_on(&self, arch: &str, os: &str) -> bool {
+        self.arch == arch && self.os == os
+    }
+}
+
+/// Request to start `count` instances of `class`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassRequest {
+    /// The class to instantiate.
+    pub class: Loid,
+    /// How many instances are desired.
+    pub count: u32,
+    /// Optional extra Collection-query constraint the Scheduler should
+    /// apply when selecting hosts (e.g. `"$host_memory_mb >= 512"`).
+    pub constraint: Option<String>,
+}
+
+impl ClassRequest {
+    /// A request with no extra constraint.
+    pub fn new(class: Loid, count: u32) -> Self {
+        ClassRequest { class, count, constraint: None }
+    }
+
+    /// Builder: attach a query constraint.
+    pub fn with_constraint(mut self, q: impl Into<String>) -> Self {
+        self.constraint = Some(q.into());
+        self
+    }
+}
+
+/// A whole placement request — the Scheduler's input.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlacementRequest {
+    /// The classes (with counts) to place.
+    pub items: Vec<ClassRequest>,
+}
+
+impl PlacementRequest {
+    /// An empty request.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: add a class.
+    pub fn class(mut self, class: Loid, count: u32) -> Self {
+        self.items.push(ClassRequest::new(class, count));
+        self
+    }
+
+    /// Builder: add a constrained class.
+    pub fn class_where(mut self, class: Loid, count: u32, q: impl Into<String>) -> Self {
+        self.items.push(ClassRequest::new(class, count).with_constraint(q));
+        self
+    }
+
+    /// Total number of instances requested across all classes.
+    pub fn total_instances(&self) -> u32 {
+        self.items.iter().map(|i| i.count).sum()
+    }
+
+    /// Whether the request asks for nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty() || self.total_instances() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loid::LoidKind;
+
+    #[test]
+    fn implementation_compatibility() {
+        let imp = ObjectImplementation::new("mips", "IRIX");
+        assert!(imp.runs_on("mips", "IRIX"));
+        assert!(!imp.runs_on("mips", "Linux"));
+        assert!(!imp.runs_on("x86", "IRIX"));
+    }
+
+    #[test]
+    fn request_builder_counts() {
+        let a = Loid::synthetic(LoidKind::Class, 1);
+        let b = Loid::synthetic(LoidKind::Class, 2);
+        let req = PlacementRequest::new()
+            .class(a, 4)
+            .class_where(b, 2, "$host_memory_mb >= 512");
+        assert_eq!(req.total_instances(), 6);
+        assert!(!req.is_empty());
+        assert_eq!(req.items[1].constraint.as_deref(), Some("$host_memory_mb >= 512"));
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(PlacementRequest::new().is_empty());
+        let a = Loid::synthetic(LoidKind::Class, 1);
+        assert!(PlacementRequest::new().class(a, 0).is_empty());
+    }
+}

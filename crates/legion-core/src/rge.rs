@@ -1,0 +1,260 @@
+//! Reflective Graph and Events (RGE) — triggers and outcalls.
+//!
+//! "Hosts also contain a mechanism for defining event triggers — this
+//! allows a Host to, e.g., initiate object migration if its load rises
+//! above a threshold. Conceptually, triggers are guarded statements which
+//! raise events if the guard evaluates to a boolean true." (§2.1)
+//!
+//! "Using this mechanism, the Monitor can register an outcall with the
+//! Host Objects; this outcall will be performed when a trigger's guard
+//! evaluates to true." (§3.5)
+//!
+//! A [`Trigger`] pairs a [`Guard`] (a predicate over the host's attribute
+//! database) with the [`EventKind`] to raise. Hosts evaluate their
+//! triggers whenever they reassess local state, and deliver raised
+//! [`Event`]s to every registered [`Outcall`].
+
+use crate::attrs::AttributeDb;
+use crate::loid::Loid;
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a registered trigger on a particular host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TriggerId(pub u64);
+
+/// The kind of event a trigger raises.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Load rose above the trigger's threshold — the canonical migration
+    /// trigger from the paper.
+    LoadThresholdExceeded,
+    /// Free memory fell below a threshold.
+    MemoryPressure,
+    /// A running object failed.
+    ObjectFailed,
+    /// A reservation lapsed without confirmation.
+    ReservationExpired,
+    /// The host is shutting down and objects must migrate.
+    HostShutdown,
+    /// Extension point for user-defined triggers.
+    Custom(String),
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::LoadThresholdExceeded => write!(f, "load-threshold-exceeded"),
+            EventKind::MemoryPressure => write!(f, "memory-pressure"),
+            EventKind::ObjectFailed => write!(f, "object-failed"),
+            EventKind::ReservationExpired => write!(f, "reservation-expired"),
+            EventKind::HostShutdown => write!(f, "host-shutdown"),
+            EventKind::Custom(s) => write!(f, "custom:{s}"),
+        }
+    }
+}
+
+/// An event raised by a trigger.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// The object (usually a Host) that raised it.
+    pub source: Loid,
+    /// When it was raised.
+    pub at: SimTime,
+    /// A snapshot of relevant source state (e.g. the offending load).
+    pub detail: AttributeDb,
+}
+
+/// A guard: boolean predicate over an attribute database.
+///
+/// Guards are built from combinators so schedulers and monitors can
+/// assemble them without writing closures, but an arbitrary predicate
+/// escape hatch is provided.
+///
+/// ```
+/// use legion_core::{AttributeDb, Guard};
+///
+/// // The paper's canonical trigger: load above a threshold.
+/// let overloaded = Guard::attr_gt("host_load", 0.8)
+///     .and(Guard::attr_eq("host_os_name", "IRIX"));
+/// let db = AttributeDb::new().with("host_load", 1.2).with("host_os_name", "IRIX");
+/// assert!(overloaded.eval(&db));
+/// ```
+#[derive(Clone)]
+pub struct Guard(Arc<dyn Fn(&AttributeDb) -> bool + Send + Sync>);
+
+impl Guard {
+    /// Guard from an arbitrary predicate.
+    pub fn from_fn(f: impl Fn(&AttributeDb) -> bool + Send + Sync + 'static) -> Self {
+        Guard(Arc::new(f))
+    }
+
+    /// `$attr > threshold` (numeric).
+    pub fn attr_gt(attr: impl Into<String>, threshold: f64) -> Self {
+        let attr = attr.into();
+        Guard::from_fn(move |db| db.get_f64(&attr).is_some_and(|v| v > threshold))
+    }
+
+    /// `$attr < threshold` (numeric).
+    pub fn attr_lt(attr: impl Into<String>, threshold: f64) -> Self {
+        let attr = attr.into();
+        Guard::from_fn(move |db| db.get_f64(&attr).is_some_and(|v| v < threshold))
+    }
+
+    /// `$attr == value` (string).
+    pub fn attr_eq(attr: impl Into<String>, value: impl Into<String>) -> Self {
+        let attr = attr.into();
+        let value = value.into();
+        Guard::from_fn(move |db| db.get_str(&attr) == Some(value.as_str()))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Guard) -> Self {
+        Guard::from_fn(move |db| self.eval(db) && other.eval(db))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Guard) -> Self {
+        Guard::from_fn(move |db| self.eval(db) || other.eval(db))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Guard::from_fn(move |db| !self.eval(db))
+    }
+
+    /// Evaluates the guard.
+    pub fn eval(&self, db: &AttributeDb) -> bool {
+        (self.0)(db)
+    }
+}
+
+impl fmt::Debug for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Guard(..)")
+    }
+}
+
+/// A guarded statement: when the guard becomes true during a host's state
+/// reassessment, the event is raised.
+#[derive(Debug, Clone)]
+pub struct Trigger {
+    /// The predicate over the host's attribute database.
+    pub guard: Guard,
+    /// What to raise when the guard fires.
+    pub raises: EventKind,
+    /// Minimum virtual time between consecutive firings, so a persistently
+    /// loaded host does not flood its Monitor with events.
+    pub cooldown: SimDuration,
+}
+
+impl Trigger {
+    /// Creates a trigger with a default 5-second cooldown.
+    pub fn new(guard: Guard, raises: EventKind) -> Self {
+        Trigger { guard, raises, cooldown: SimDuration::from_secs(5) }
+    }
+
+    /// Builder: override the cooldown.
+    pub fn with_cooldown(mut self, cooldown: SimDuration) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+}
+
+/// A registered event sink — the Monitor side of an RGE outcall.
+pub trait Outcall: Send + Sync {
+    /// Called by the host when a trigger fires. Implementations must be
+    /// quick and non-blocking; heavy work belongs on the Monitor's own
+    /// thread.
+    fn notify(&self, event: &Event);
+}
+
+/// Trivial outcall that collects events into a shared vector (testing).
+#[derive(Debug, Default)]
+pub struct CollectingOutcall {
+    events: parking_lot::Mutex<Vec<Event>>,
+}
+
+impl CollectingOutcall {
+    /// Creates an empty collector.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Drains the collected events.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    /// Number of collected events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl Outcall for CollectingOutcall {
+    fn notify(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(load: f64, os: &str) -> AttributeDb {
+        AttributeDb::new().with("host_load", load).with("host_os_name", os)
+    }
+
+    #[test]
+    fn threshold_guards() {
+        let g = Guard::attr_gt("host_load", 0.8);
+        assert!(g.eval(&db(0.9, "IRIX")));
+        assert!(!g.eval(&db(0.5, "IRIX")));
+        assert!(!g.eval(&AttributeDb::new())); // missing attr never fires
+    }
+
+    #[test]
+    fn combinators() {
+        let g = Guard::attr_gt("host_load", 0.8).and(Guard::attr_eq("host_os_name", "IRIX"));
+        assert!(g.eval(&db(0.9, "IRIX")));
+        assert!(!g.eval(&db(0.9, "Linux")));
+        let h = Guard::attr_lt("host_load", 0.1).or(Guard::attr_eq("host_os_name", "Linux"));
+        assert!(h.eval(&db(0.9, "Linux")));
+        assert!(h.eval(&db(0.05, "IRIX")));
+        assert!(!h.eval(&db(0.5, "IRIX")));
+        assert!(Guard::attr_gt("host_load", 0.8).not().eval(&db(0.1, "x")));
+    }
+
+    #[test]
+    fn collecting_outcall_gathers() {
+        let c = CollectingOutcall::new();
+        assert!(c.is_empty());
+        let e = Event {
+            kind: EventKind::LoadThresholdExceeded,
+            source: Loid::NIL,
+            at: SimTime::ZERO,
+            detail: AttributeDb::new(),
+        };
+        c.notify(&e);
+        c.notify(&e);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.take().len(), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn event_kind_display() {
+        assert_eq!(EventKind::LoadThresholdExceeded.to_string(), "load-threshold-exceeded");
+        assert_eq!(EventKind::Custom("x".into()).to_string(), "custom:x");
+    }
+}

@@ -1,0 +1,91 @@
+//! Vault object interface.
+//!
+//! "Vaults are the generic storage abstraction in Legion. To be executed,
+//! a Legion object must have a Vault to hold its persistent state in an
+//! Object Persistent Representation (OPR)." (§2.1)
+//!
+//! "The current implementation of Vault Objects does not contain dynamic
+//! state to the degree that the Host Object implementation does. Vaults,
+//! therefore, only participate in the scheduling process at the start,
+//! when they verify that they are compatible with a Host. They may, in
+//! the future, be differentiated by the amount of storage available, cost
+//! per byte, security policy, etc." (§3.1) — our implementation includes
+//! those future differentiators as optional attributes so schedulers can
+//! exploit them.
+
+use crate::attrs::AttributeDb;
+use crate::error::LegionError;
+use crate::loid::Loid;
+use crate::opr::Opr;
+use std::sync::Arc;
+
+/// Storage accounting for a vault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bytes currently holding OPRs.
+    pub used_bytes: u64,
+    /// Number of OPRs stored.
+    pub opr_count: usize,
+}
+
+impl StorageStats {
+    /// Remaining free space.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes.saturating_sub(self.used_bytes)
+    }
+}
+
+/// The Vault object interface.
+pub trait VaultObject: Send + Sync {
+    /// This vault's identifier.
+    fn loid(&self) -> Loid;
+
+    /// The vault's attribute database (domain, storage, cost per byte...).
+    fn attributes(&self) -> AttributeDb;
+
+    /// Stores (or overwrites, if a newer version) an OPR.
+    fn store_opr(&self, opr: Opr) -> Result<(), LegionError>;
+
+    /// Fetches the OPR for `object`.
+    fn fetch_opr(&self, object: Loid) -> Result<Opr, LegionError>;
+
+    /// Deletes the OPR for `object`.
+    fn delete_opr(&self, object: Loid) -> Result<(), LegionError>;
+
+    /// Whether this vault holds an OPR for `object`.
+    fn holds(&self, object: Loid) -> bool;
+
+    /// Verifies compatibility with a host, given the host's attributes.
+    /// This is the vault's sole participation in scheduling (§3.1).
+    fn compatible_with_host(&self, host_attrs: &AttributeDb) -> bool;
+
+    /// Current storage accounting.
+    fn storage(&self) -> StorageStats;
+}
+
+/// Resolves vault LOIDs to live vault objects.
+///
+/// Hosts need this when checking `vault_OK()` and when saving OPRs during
+/// deactivation; the fabric provides the implementation.
+pub trait VaultDirectory: Send + Sync {
+    /// Looks up a vault by identifier.
+    fn lookup_vault(&self, loid: Loid) -> Option<Arc<dyn VaultObject>>;
+
+    /// All vault identifiers known to the directory.
+    fn vault_loids(&self) -> Vec<Loid>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_stats_free() {
+        let s = StorageStats { capacity_bytes: 100, used_bytes: 30, opr_count: 2 };
+        assert_eq!(s.free_bytes(), 70);
+        let over = StorageStats { capacity_bytes: 10, used_bytes: 30, opr_count: 2 };
+        assert_eq!(over.free_bytes(), 0);
+    }
+}

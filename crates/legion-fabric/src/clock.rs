@@ -1,0 +1,91 @@
+//! The virtual clock driving all RMI components.
+
+use legion_core::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically advancing virtual clock, shared by all fabric objects.
+///
+/// Experiments advance it explicitly, which keeps every run deterministic
+/// and lets benches measure simulated cost independently of wall-clock.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    micros: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.micros.load(Ordering::Acquire))
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        SimTime(self.micros.fetch_add(d.as_micros(), Ordering::AcqRel) + d.as_micros())
+    }
+
+    /// Moves the clock forward to `t` if `t` is in the future; returns the
+    /// resulting time (never goes backwards).
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let target = t.as_micros();
+        let mut cur = self.micros.load(Ordering::Acquire);
+        while cur < target {
+            match self.micros.compare_exchange_weak(
+                cur,
+                target,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return t,
+                Err(seen) => cur = seen,
+            }
+        }
+        SimTime(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(SimDuration::from_millis(5));
+        assert_eq!(c.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn advance_to_never_regresses() {
+        let c = VirtualClock::new();
+        c.advance_to(SimTime::from_secs(10));
+        assert_eq!(c.now(), SimTime::from_secs(10));
+        c.advance_to(SimTime::from_secs(5));
+        assert_eq!(c.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn concurrent_advance_is_cumulative() {
+        use std::sync::Arc;
+        let c = Arc::new(VirtualClock::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(SimDuration::from_micros(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now(), SimTime(8000));
+    }
+}

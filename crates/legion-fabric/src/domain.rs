@@ -1,0 +1,153 @@
+//! Administrative domains and the inter-domain network model.
+//!
+//! "the software must unite machines from thousands of administrative
+//! domains into a single coherent system" (§1). Domains matter to the RMI
+//! twice: the Enactor co-allocates across them (§3), and hosts exercise
+//! autonomy by refusing requests from certain domains (§3.1). The
+//! topology here models the only properties the RMI observes: message
+//! latency and message-loss probability between domain pairs.
+
+use legion_core::SimDuration;
+
+/// Identifier of an administrative domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub u16);
+
+/// A named administrative domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    /// Identifier (index into the topology matrices).
+    pub id: DomainId,
+    /// Human-readable name, e.g. `"uva.edu"`.
+    pub name: String,
+}
+
+/// Latency and loss between every pair of domains.
+#[derive(Debug, Clone)]
+pub struct DomainTopology {
+    domains: Vec<Domain>,
+    /// `latency[i][j]`: one-way message latency from domain i to j.
+    latency: Vec<Vec<SimDuration>>,
+    /// `drop_prob[i][j]`: probability a message from i to j is lost.
+    drop_prob: Vec<Vec<f64>>,
+}
+
+impl DomainTopology {
+    /// A single-domain topology with the given intra-domain latency.
+    pub fn single(intra: SimDuration) -> Self {
+        Self::uniform(1, intra, intra)
+    }
+
+    /// `n` domains named `dom0..`, with uniform intra- and inter-domain
+    /// latencies and no message loss.
+    pub fn uniform(n: usize, intra: SimDuration, inter: SimDuration) -> Self {
+        assert!(n > 0, "topology needs at least one domain");
+        let domains = (0..n)
+            .map(|i| Domain { id: DomainId(i as u16), name: format!("dom{i}") })
+            .collect();
+        let latency = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { intra } else { inter }).collect())
+            .collect();
+        let drop_prob = vec![vec![0.0; n]; n];
+        DomainTopology { domains, latency, drop_prob }
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether the topology is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// The domains.
+    pub fn domains(&self) -> &[Domain] {
+        &self.domains
+    }
+
+    /// Renames a domain.
+    pub fn set_name(&mut self, d: DomainId, name: impl Into<String>) {
+        self.domains[d.0 as usize].name = name.into();
+    }
+
+    /// One-way latency from `a` to `b`.
+    pub fn latency(&self, a: DomainId, b: DomainId) -> SimDuration {
+        self.latency[a.0 as usize][b.0 as usize]
+    }
+
+    /// Sets the one-way latency for a single ordered pair.
+    pub fn set_latency(&mut self, a: DomainId, b: DomainId, l: SimDuration) {
+        self.latency[a.0 as usize][b.0 as usize] = l;
+    }
+
+    /// Message-loss probability from `a` to `b`.
+    pub fn drop_prob(&self, a: DomainId, b: DomainId) -> f64 {
+        self.drop_prob[a.0 as usize][b.0 as usize]
+    }
+
+    /// Sets the loss probability for every inter-domain ordered pair
+    /// (intra-domain messages stay lossless).
+    pub fn set_inter_domain_drop_prob(&mut self, p: f64) {
+        let n = self.domains.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    self.drop_prob[i][j] = p;
+                }
+            }
+        }
+    }
+
+    /// Sets the loss probability for a single ordered pair.
+    pub fn set_drop_prob(&mut self, a: DomainId, b: DomainId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_prob[a.0 as usize][b.0 as usize] = p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shape() {
+        let t = DomainTopology::uniform(
+            3,
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(40),
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.latency(DomainId(0), DomainId(0)), SimDuration::from_micros(100));
+        assert_eq!(t.latency(DomainId(0), DomainId(2)), SimDuration::from_millis(40));
+        assert_eq!(t.drop_prob(DomainId(0), DomainId(1)), 0.0);
+    }
+
+    #[test]
+    fn drop_prob_only_touches_inter_domain() {
+        let mut t =
+            DomainTopology::uniform(2, SimDuration::from_micros(1), SimDuration::from_micros(9));
+        t.set_inter_domain_drop_prob(0.25);
+        assert_eq!(t.drop_prob(DomainId(0), DomainId(0)), 0.0);
+        assert_eq!(t.drop_prob(DomainId(0), DomainId(1)), 0.25);
+        assert_eq!(t.drop_prob(DomainId(1), DomainId(0)), 0.25);
+    }
+
+    #[test]
+    fn asymmetric_links_allowed() {
+        let mut t =
+            DomainTopology::uniform(2, SimDuration::from_micros(1), SimDuration::from_micros(9));
+        t.set_latency(DomainId(0), DomainId(1), SimDuration::from_millis(5));
+        assert_eq!(t.latency(DomainId(0), DomainId(1)), SimDuration::from_millis(5));
+        assert_eq!(t.latency(DomainId(1), DomainId(0)), SimDuration::from_micros(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        let mut t =
+            DomainTopology::uniform(2, SimDuration::from_micros(1), SimDuration::from_micros(9));
+        t.set_drop_prob(DomainId(0), DomainId(1), 1.5);
+    }
+}

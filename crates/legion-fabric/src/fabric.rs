@@ -1,0 +1,428 @@
+//! The fabric proper: object registry plus network model.
+
+use crate::clock::VirtualClock;
+use crate::domain::{DomainId, DomainTopology};
+use crate::metrics::MetricsLedger;
+use crate::rng::DetRng;
+use legion_core::{
+    ClassObject, HostObject, LegionError, Loid, PlacementContext, SimDuration, SimTime,
+    VaultDirectory, VaultObject,
+};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The in-process metacomputing fabric.
+///
+/// Holds every registered object, knows which domain each lives in, and
+/// meters all inter-object traffic. Implements [`PlacementContext`] (for
+/// Classes) and [`VaultDirectory`] (for Hosts), so core objects stay
+/// independent of this crate.
+pub struct Fabric {
+    clock: Arc<VirtualClock>,
+    topology: RwLock<DomainTopology>,
+    hosts: RwLock<BTreeMap<Loid, Arc<dyn HostObject>>>,
+    vaults: RwLock<BTreeMap<Loid, Arc<dyn VaultObject>>>,
+    classes: RwLock<BTreeMap<Loid, Arc<dyn ClassObject>>>,
+    /// Domain of every registered object (service objects included).
+    locations: RwLock<BTreeMap<Loid, DomainId>>,
+    metrics: Arc<MetricsLedger>,
+    rng: DetRng,
+    link_rng: Mutex<SmallRng>,
+}
+
+impl Fabric {
+    /// A fabric with the given topology and master seed.
+    pub fn new(topology: DomainTopology, seed: u64) -> Arc<Self> {
+        let rng = DetRng::new(seed);
+        let link_rng = Mutex::new(rng.stream("fabric-links"));
+        Arc::new(Fabric {
+            clock: Arc::new(VirtualClock::new()),
+            topology: RwLock::new(topology),
+            hosts: RwLock::new(BTreeMap::new()),
+            vaults: RwLock::new(BTreeMap::new()),
+            classes: RwLock::new(BTreeMap::new()),
+            locations: RwLock::new(BTreeMap::new()),
+            metrics: Arc::new(MetricsLedger::default()),
+            rng,
+            link_rng,
+        })
+    }
+
+    /// A single-domain fabric with microsecond-scale local latency.
+    pub fn local(seed: u64) -> Arc<Self> {
+        Self::new(DomainTopology::single(SimDuration::from_micros(50)), seed)
+    }
+
+    // --- registry ---------------------------------------------------------
+
+    /// Registers a host in `domain`.
+    pub fn register_host(&self, host: Arc<dyn HostObject>, domain: DomainId) {
+        let loid = host.loid();
+        self.hosts.write().insert(loid, host);
+        self.locations.write().insert(loid, domain);
+    }
+
+    /// Removes a host from the fabric — a crash or administrative
+    /// removal. Subsequent lookups fail with `NoSuchHost`, which every
+    /// RMI component must "accommodate ... at any step" (§3.1). Returns
+    /// the removed host, if it existed.
+    pub fn unregister_host(&self, loid: Loid) -> Option<Arc<dyn HostObject>> {
+        self.locations.write().remove(&loid);
+        self.hosts.write().remove(&loid)
+    }
+
+    /// Registers a vault in `domain`.
+    pub fn register_vault(&self, vault: Arc<dyn VaultObject>, domain: DomainId) {
+        let loid = vault.loid();
+        self.vaults.write().insert(loid, vault);
+        self.locations.write().insert(loid, domain);
+    }
+
+    /// Registers a class object (classes are placeless; they are charged
+    /// domain 0 traffic unless relocated with [`Fabric::place`]).
+    pub fn register_class(&self, class: Arc<dyn ClassObject>) {
+        let loid = class.loid();
+        self.classes.write().insert(loid, class);
+        self.locations.write().insert(loid, DomainId(0));
+    }
+
+    /// Places (or moves) an arbitrary object into a domain — used for
+    /// service objects like Schedulers and Collections so their traffic
+    /// is charged correctly.
+    pub fn place(&self, loid: Loid, domain: DomainId) {
+        self.locations.write().insert(loid, domain);
+    }
+
+    /// Looks up a registered class.
+    pub fn lookup_class(&self, loid: Loid) -> Option<Arc<dyn ClassObject>> {
+        self.classes.read().get(&loid).cloned()
+    }
+
+    /// All class LOIDs.
+    pub fn class_loids(&self) -> Vec<Loid> {
+        self.classes.read().keys().copied().collect()
+    }
+
+    /// The domain an object lives in (default domain 0 if unplaced).
+    pub fn domain_of(&self, loid: Loid) -> DomainId {
+        self.locations.read().get(&loid).copied().unwrap_or(DomainId(0))
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.read().len()
+    }
+
+    /// Number of registered vaults.
+    pub fn vault_count(&self) -> usize {
+        self.vaults.read().len()
+    }
+
+    // --- network model ------------------------------------------------------
+
+    /// Meters one message from `from` to `to`.
+    ///
+    /// Applies the topology's loss probability (an error models a lost or
+    /// undeliverable message the caller must handle, §3.1's "failure at
+    /// any step"), charges latency to the ledger, and counts the message.
+    pub fn link(&self, from: Loid, to: Loid) -> Result<SimDuration, LegionError> {
+        let (a, b) = (self.domain_of(from), self.domain_of(to));
+        let topo = self.topology.read();
+        MetricsLedger::bump(&self.metrics.messages);
+        let p = topo.drop_prob(a, b);
+        if p > 0.0 && self.link_rng.lock().gen::<f64>() < p {
+            MetricsLedger::bump(&self.metrics.messages_dropped);
+            return Err(LegionError::NetworkFailure { from, to });
+        }
+        let lat = topo.latency(a, b);
+        self.metrics.charge_latency(lat);
+        Ok(lat)
+    }
+
+    /// Mutates the topology (e.g. inject loss mid-experiment).
+    pub fn with_topology<R>(&self, f: impl FnOnce(&mut DomainTopology) -> R) -> R {
+        f(&mut self.topology.write())
+    }
+
+    /// Read-only topology access.
+    pub fn topology<R>(&self, f: impl FnOnce(&DomainTopology) -> R) -> R {
+        f(&self.topology.read())
+    }
+
+    // --- shared services ------------------------------------------------------
+
+    /// The fabric clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// The metrics ledger.
+    pub fn metrics(&self) -> &Arc<MetricsLedger> {
+        &self.metrics
+    }
+
+    /// The deterministic RNG factory.
+    pub fn rng(&self) -> DetRng {
+        self.rng
+    }
+
+    /// Drives one reassessment tick on every host, in LOID order,
+    /// advancing the clock by `dt` first. Returns the number of RGE
+    /// events raised.
+    pub fn tick_all_hosts(&self, dt: SimDuration) -> usize {
+        let now = self.clock.advance(dt);
+        let hosts: Vec<Arc<dyn HostObject>> = self.hosts.read().values().cloned().collect();
+        let mut events = 0;
+        for h in hosts {
+            events += h.reassess(now).len();
+        }
+        events
+    }
+}
+
+impl PlacementContext for Fabric {
+    fn lookup_host(&self, loid: Loid) -> Option<Arc<dyn HostObject>> {
+        self.hosts.read().get(&loid).cloned()
+    }
+
+    fn host_loids(&self) -> Vec<Loid> {
+        self.hosts.read().keys().copied().collect()
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+}
+
+impl VaultDirectory for Fabric {
+    fn lookup_vault(&self, loid: Loid) -> Option<Arc<dyn VaultObject>> {
+        self.vaults.read().get(&loid).cloned()
+    }
+
+    fn vault_loids(&self) -> Vec<Loid> {
+        self.vaults.read().keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::LoidKind;
+
+    #[test]
+    fn placement_and_domains() {
+        let f = Fabric::new(
+            DomainTopology::uniform(2, SimDuration::from_micros(10), SimDuration::from_millis(30)),
+            1,
+        );
+        let a = Loid::synthetic(LoidKind::Service, 1);
+        let b = Loid::synthetic(LoidKind::Service, 2);
+        f.place(a, DomainId(0));
+        f.place(b, DomainId(1));
+        assert_eq!(f.domain_of(a), DomainId(0));
+        assert_eq!(f.domain_of(b), DomainId(1));
+        // Unknown objects default to domain 0.
+        assert_eq!(f.domain_of(Loid::synthetic(LoidKind::Service, 99)), DomainId(0));
+    }
+
+    #[test]
+    fn link_charges_latency_and_counts() {
+        let f = Fabric::new(
+            DomainTopology::uniform(2, SimDuration::from_micros(10), SimDuration::from_millis(30)),
+            1,
+        );
+        let a = Loid::synthetic(LoidKind::Service, 1);
+        let b = Loid::synthetic(LoidKind::Service, 2);
+        f.place(a, DomainId(0));
+        f.place(b, DomainId(1));
+        let lat = f.link(a, b).unwrap();
+        assert_eq!(lat, SimDuration::from_millis(30));
+        let snap = f.metrics().snapshot();
+        assert_eq!(snap.messages, 1);
+        assert_eq!(snap.sim_latency_us, 30_000);
+    }
+
+    #[test]
+    fn lossy_links_fail_sometimes() {
+        let f = Fabric::new(
+            DomainTopology::uniform(2, SimDuration::from_micros(1), SimDuration::from_micros(1)),
+            7,
+        );
+        f.with_topology(|t| t.set_inter_domain_drop_prob(0.5));
+        let a = Loid::synthetic(LoidKind::Service, 1);
+        let b = Loid::synthetic(LoidKind::Service, 2);
+        f.place(a, DomainId(0));
+        f.place(b, DomainId(1));
+        let mut failures = 0;
+        for _ in 0..200 {
+            if f.link(a, b).is_err() {
+                failures += 1;
+            }
+        }
+        // With p = 0.5, observing fewer than 50 or more than 150 failures
+        // in 200 trials is vanishingly unlikely.
+        assert!((50..=150).contains(&failures), "failures = {failures}");
+        assert_eq!(f.metrics().snapshot().messages_dropped, failures);
+    }
+
+    #[test]
+    fn intra_domain_is_lossless_by_default() {
+        let f = Fabric::local(3);
+        let a = Loid::synthetic(LoidKind::Service, 1);
+        let b = Loid::synthetic(LoidKind::Service, 2);
+        for _ in 0..100 {
+            assert!(f.link(a, b).is_ok());
+        }
+    }
+
+    #[test]
+    fn deterministic_loss_sequence() {
+        let run = |seed: u64| -> Vec<bool> {
+            let f = Fabric::new(
+                DomainTopology::uniform(
+                    2,
+                    SimDuration::from_micros(1),
+                    SimDuration::from_micros(1),
+                ),
+                seed,
+            );
+            f.with_topology(|t| t.set_inter_domain_drop_prob(0.3));
+            let a = Loid::synthetic(LoidKind::Service, 1);
+            let b = Loid::synthetic(LoidKind::Service, 2);
+            f.place(a, DomainId(0));
+            f.place(b, DomainId(1));
+            (0..50).map(|_| f.link(a, b).is_ok()).collect()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}
+
+#[cfg(test)]
+mod stat_tests {
+    use super::*;
+    use legion_core::LoidKind;
+
+    #[test]
+    fn loss_frequency_tracks_probability() {
+        // Empirical loss rate over many trials stays near the configured
+        // probability for several p values (deterministic seed).
+        for (p, lo, hi) in [(0.1, 0.05, 0.16), (0.3, 0.24, 0.37), (0.7, 0.62, 0.78)] {
+            let f = Fabric::new(
+                DomainTopology::uniform(
+                    2,
+                    SimDuration::from_micros(1),
+                    SimDuration::from_micros(1),
+                ),
+                1234,
+            );
+            f.with_topology(|t| t.set_inter_domain_drop_prob(p));
+            let a = Loid::synthetic(LoidKind::Service, 1);
+            let b = Loid::synthetic(LoidKind::Service, 2);
+            f.place(a, DomainId(0));
+            f.place(b, DomainId(1));
+            let n = 2000;
+            let drops = (0..n).filter(|_| f.link(a, b).is_err()).count();
+            let rate = drops as f64 / n as f64;
+            assert!(
+                (lo..=hi).contains(&rate),
+                "p = {p}: empirical {rate} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn unregistered_host_disappears_from_context() {
+        use legion_hosts_shim::*;
+        // A minimal host stub so the fabric test stays in-crate.
+        let f = Fabric::local(3);
+        let h = Arc::new(StubHost::new());
+        let loid = legion_core::HostObject::loid(&*h);
+        f.register_host(h, DomainId(0));
+        assert_eq!(f.host_count(), 1);
+        assert!(f.lookup_host(loid).is_some());
+        assert!(f.unregister_host(loid).is_some());
+        assert!(f.lookup_host(loid).is_none());
+        assert!(f.host_loids().is_empty());
+        assert!(f.unregister_host(loid).is_none(), "idempotent");
+    }
+
+    /// A do-nothing HostObject for registry tests.
+    mod legion_hosts_shim {
+        use legion_core::*;
+        use std::sync::Arc;
+
+        pub struct StubHost {
+            loid: Loid,
+        }
+
+        impl StubHost {
+            pub fn new() -> Self {
+                StubHost { loid: Loid::fresh(LoidKind::Host) }
+            }
+        }
+
+        impl HostObject for StubHost {
+            fn loid(&self) -> Loid {
+                self.loid
+            }
+            fn make_reservation(
+                &self,
+                _: &ReservationRequest,
+                _: SimTime,
+            ) -> Result<ReservationToken, LegionError> {
+                Err(LegionError::Other("stub".into()))
+            }
+            fn check_reservation(
+                &self,
+                _: &ReservationToken,
+                _: SimTime,
+            ) -> Result<ReservationStatus, LegionError> {
+                Err(LegionError::InvalidToken)
+            }
+            fn cancel_reservation(&self, _: &ReservationToken) -> Result<(), LegionError> {
+                Err(LegionError::InvalidToken)
+            }
+            fn start_object(
+                &self,
+                _: &ReservationToken,
+                _: &[ObjectSpec],
+                _: SimTime,
+            ) -> Result<Vec<Loid>, LegionError> {
+                Err(LegionError::Other("stub".into()))
+            }
+            fn kill_object(&self, o: Loid) -> Result<(), LegionError> {
+                Err(LegionError::NoSuchObject(o))
+            }
+            fn deactivate_object(&self, o: Loid, _: SimTime) -> Result<Opr, LegionError> {
+                Err(LegionError::NoSuchObject(o))
+            }
+            fn reactivate_object(&self, _: &Opr, _: SimTime) -> Result<(), LegionError> {
+                Err(LegionError::Other("stub".into()))
+            }
+            fn running_objects(&self) -> Vec<Loid> {
+                Vec::new()
+            }
+            fn get_compatible_vaults(&self) -> Vec<Loid> {
+                Vec::new()
+            }
+            fn vault_ok(&self, _: Loid) -> bool {
+                false
+            }
+            fn attributes(&self) -> AttributeDb {
+                AttributeDb::new()
+            }
+            fn register_trigger(&self, _: Trigger) -> TriggerId {
+                TriggerId(0)
+            }
+            fn remove_trigger(&self, _: TriggerId) {}
+            fn register_outcall(&self, _: Arc<dyn Outcall>) {}
+            fn reassess(&self, _: SimTime) -> Vec<Event> {
+                Vec::new()
+            }
+        }
+    }
+}

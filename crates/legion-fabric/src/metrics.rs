@@ -1,0 +1,155 @@
+//! The metrics ledger — the fabric's cost accounting.
+//!
+//! The paper's promised benchmarking (§6) needs operation counts as much
+//! as timings: the IRS is pitched as doing "fewer lookups in the
+//! Collection" than repeated random generation (§4.2), and the variant
+//! bitmap exists to avoid "reservation thrashing (the canceling and
+//! subsequent remaking of the same reservation)" (§3.4). Every component
+//! bumps this ledger so experiments can report those counts directly.
+
+use legion_core::SimDuration;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
+        /// Shared atomic counters, one per accounted operation.
+        #[derive(Debug, Default)]
+        pub struct MetricsLedger {
+            $( $(#[$doc])* pub $name: AtomicU64, )*
+            /// Total simulated network latency charged, in microseconds.
+            pub sim_latency_us: AtomicU64,
+        }
+
+        /// A point-in-time copy of the ledger.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct MetricsSnapshot {
+            $( $(#[$doc])* pub $name: u64, )*
+            /// Total simulated network latency charged, in microseconds.
+            pub sim_latency_us: u64,
+        }
+
+        impl MetricsLedger {
+            /// Takes a snapshot of all counters.
+            pub fn snapshot(&self) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $( $name: self.$name.load(Ordering::Relaxed), )*
+                    sim_latency_us: self.sim_latency_us.load(Ordering::Relaxed),
+                }
+            }
+
+            /// Resets all counters to zero.
+            pub fn reset(&self) {
+                $( self.$name.store(0, Ordering::Relaxed); )*
+                self.sim_latency_us.store(0, Ordering::Relaxed);
+            }
+        }
+
+        impl MetricsSnapshot {
+            /// Per-field difference (`self - earlier`), saturating.
+            pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $( $name: self.$name.saturating_sub(earlier.$name), )*
+                    sim_latency_us: self.sim_latency_us.saturating_sub(earlier.sim_latency_us),
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Inter-object messages sent through the fabric.
+    messages,
+    /// Messages lost to the failure model.
+    messages_dropped,
+    /// `make_reservation` calls received by hosts.
+    reservation_requests,
+    /// Reservations granted.
+    reservations_granted,
+    /// Reservations denied (capacity, policy, vault).
+    reservations_denied,
+    /// Reservations cancelled by Enactors.
+    reservations_cancelled,
+    /// Cancel-then-remake pairs on the same host for the same class —
+    /// the paper's "reservation thrashing".
+    reservation_thrash,
+    /// Collection queries evaluated.
+    collection_queries,
+    /// Records examined while evaluating queries.
+    collection_records_scanned,
+    /// Collection record updates (push or pull).
+    collection_updates,
+    /// Objects started on hosts.
+    objects_started,
+    /// Objects killed.
+    objects_killed,
+    /// Objects deactivated to an OPR.
+    objects_deactivated,
+    /// Objects reactivated from an OPR.
+    objects_reactivated,
+    /// Completed migrations.
+    migrations,
+    /// RGE trigger firings.
+    trigger_firings,
+    /// Schedules (master or variant) attempted by Enactors.
+    schedules_attempted,
+    /// Schedules fully reserved.
+    schedules_reserved,
+    /// `enact_schedule` object instantiations.
+    enact_instantiations,
+}
+
+impl MetricsLedger {
+    /// Records simulated latency.
+    pub fn charge_latency(&self, d: SimDuration) {
+        self.sim_latency_us.fetch_add(d.as_micros(), Ordering::Relaxed);
+    }
+
+    /// Convenience: bump a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Convenience: bump a counter by `n`.
+    pub fn bump_by(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let m = MetricsLedger::default();
+        MetricsLedger::bump(&m.messages);
+        MetricsLedger::bump(&m.messages);
+        MetricsLedger::bump(&m.reservations_granted);
+        let s1 = m.snapshot();
+        assert_eq!(s1.messages, 2);
+        assert_eq!(s1.reservations_granted, 1);
+
+        MetricsLedger::bump_by(&m.messages, 3);
+        let s2 = m.snapshot();
+        let d = s2.delta(&s1);
+        assert_eq!(d.messages, 3);
+        assert_eq!(d.reservations_granted, 0);
+    }
+
+    #[test]
+    fn latency_accumulates() {
+        let m = MetricsLedger::default();
+        m.charge_latency(SimDuration::from_millis(2));
+        m.charge_latency(SimDuration::from_millis(3));
+        assert_eq!(m.snapshot().sim_latency_us, 5000);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = MetricsLedger::default();
+        MetricsLedger::bump(&m.migrations);
+        m.charge_latency(SimDuration::from_secs(1));
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+}

@@ -1,0 +1,27 @@
+//! Host object implementations.
+//!
+//! Hosts are the arbiters of machine capability (§2.1). This crate
+//! provides:
+//!
+//! * [`StandardHost`] — the Unix / SMP Host object: the full Table 1
+//!   interface over a host-side [`ReservationTable`] (Table 2 admission
+//!   semantics), a [`LocalPolicy`] chain (site autonomy), a
+//!   [`BackgroundLoad`] model, and RGE triggers;
+//! * [`BatchQueueHost`] — a host fronting a reservation-less queue
+//!   management system (three simulated disciplines stand in for the
+//!   paper's LoadLeveler / Condor / Codine integrations);
+//! * policies and load models used by the experiments.
+
+pub mod batch;
+pub mod host;
+pub mod load;
+pub mod policy;
+pub mod queue_sim;
+pub mod restable;
+
+pub use batch::{BatchQueueHost, QueueStats};
+pub use host::{HostConfig, StandardHost};
+pub use load::BackgroundLoad;
+pub use policy::{AcceptAll, DomainRefusal, LoadCeiling, LocalPolicy, MemoryFloor, TimeOfDayWindow};
+pub use queue_sim::{CompletedJob, FairShareQueue, FcfsQueue, Job, PriorityQueue, QueueSim};
+pub use restable::{ReservationTable, TableCapacity};

@@ -1,0 +1,136 @@
+//! Background load models.
+//!
+//! "The Host Object reassesses its local state periodically, and
+//! repopulates its attributes" (§3.1). The load a scheduler observes is
+//! the sum of a *background* component (other users of the machine,
+//! outside Legion's control) and the demand of Legion objects the host is
+//! running. This module models the background component; the host adds
+//! the Legion component itself.
+
+use legion_core::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A background load process sampled at each reassessment.
+#[derive(Debug)]
+pub enum BackgroundLoad {
+    /// Constant load.
+    Steady(f64),
+    /// First-order autoregressive walk: `x' = base + rho (x - base) + e`,
+    /// `e ~ U(-sigma, sigma)`, clamped to `[0, max]`. This is the kind of
+    /// process the Network Weather Service forecasts.
+    Ar1 {
+        /// Long-run mean.
+        base: f64,
+        /// Persistence in [0, 1): higher = smoother.
+        rho: f64,
+        /// Half-width of the uniform innovation.
+        sigma: f64,
+        /// Clamp ceiling.
+        max: f64,
+        /// Current value.
+        state: f64,
+        /// Innovation source.
+        rng: SmallRng,
+    },
+    /// Diurnal pattern: `base + amp * sin(2π hour/24)`, never negative.
+    Diurnal {
+        /// Mean load.
+        base: f64,
+        /// Swing amplitude.
+        amp: f64,
+    },
+}
+
+impl BackgroundLoad {
+    /// A constant background load.
+    pub fn steady(load: f64) -> Self {
+        BackgroundLoad::Steady(load.max(0.0))
+    }
+
+    /// An AR(1) walk with the given parameters.
+    pub fn ar1(base: f64, rho: f64, sigma: f64, max: f64, seed: u64) -> Self {
+        BackgroundLoad::Ar1 { base, rho, sigma, max, state: base, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// A diurnal sinusoid.
+    pub fn diurnal(base: f64, amp: f64) -> Self {
+        BackgroundLoad::Diurnal { base, amp }
+    }
+
+    /// Samples the background load at `now`, advancing stateful models.
+    pub fn sample(&mut self, now: SimTime) -> f64 {
+        match self {
+            BackgroundLoad::Steady(x) => *x,
+            BackgroundLoad::Ar1 { base, rho, sigma, max, state, rng } => {
+                let e = rng.gen_range(-*sigma..=*sigma);
+                *state = (*base + *rho * (*state - *base) + e).clamp(0.0, *max);
+                *state
+            }
+            BackgroundLoad::Diurnal { base, amp } => {
+                let hours = now.as_secs_f64() / 3600.0;
+                let v = *base + *amp * (2.0 * std::f64::consts::PI * hours / 24.0).sin();
+                v.max(0.0)
+            }
+        }
+    }
+
+    /// Peeks at the current value without advancing.
+    pub fn current(&self, now: SimTime) -> f64 {
+        match self {
+            BackgroundLoad::Steady(x) => *x,
+            BackgroundLoad::Ar1 { state, .. } => *state,
+            BackgroundLoad::Diurnal { base, amp } => {
+                let hours = now.as_secs_f64() / 3600.0;
+                (*base + *amp * (2.0 * std::f64::consts::PI * hours / 24.0).sin()).max(0.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_is_steady() {
+        let mut l = BackgroundLoad::steady(0.7);
+        for i in 0..10 {
+            assert_eq!(l.sample(SimTime::from_secs(i)), 0.7);
+        }
+    }
+
+    #[test]
+    fn ar1_stays_in_bounds_and_moves() {
+        let mut l = BackgroundLoad::ar1(0.5, 0.9, 0.2, 2.0, 42);
+        let samples: Vec<f64> = (0..200).map(|i| l.sample(SimTime::from_secs(i))).collect();
+        assert!(samples.iter().all(|&x| (0.0..=2.0).contains(&x)));
+        let distinct = samples.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(distinct > 100, "AR(1) should actually move");
+        // Long-run mean near base.
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn ar1_is_deterministic_per_seed() {
+        let mut a = BackgroundLoad::ar1(0.5, 0.9, 0.2, 2.0, 7);
+        let mut b = BackgroundLoad::ar1(0.5, 0.9, 0.2, 2.0, 7);
+        for i in 0..50 {
+            assert_eq!(a.sample(SimTime::from_secs(i)), b.sample(SimTime::from_secs(i)));
+        }
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs() {
+        let mut l = BackgroundLoad::diurnal(1.0, 0.5);
+        let at = |h: u64| SimTime::from_secs(h * 3600);
+        let morning = l.sample(at(6)); // sin peak at 6h
+        let evening = l.sample(at(18)); // sin trough at 18h
+        assert!(morning > 1.4 && morning < 1.6);
+        assert!(evening > 0.4 && evening < 0.6);
+        // Never negative even with large amplitude.
+        let mut big = BackgroundLoad::diurnal(0.1, 5.0);
+        assert_eq!(big.sample(at(18)), 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Local placement policies — site autonomy.
+//!
+//! "administrators want to ensure that their systems are safe and secure,
+//! and will grant resource access according to their own policies" (§1).
+//! The host consults its policy chain before granting any reservation:
+//! "its local placement policy permits instantiating the object" (§3.1).
+//! The paper's examples — refusing requests from certain domains, and
+//! "a description of its willingness to accept extra jobs based on the
+//! time of day" — are implemented here, along with load and memory
+//! ceilings.
+
+use legion_core::{AttributeDb, ReservationRequest, SimTime};
+
+/// One local policy in a host's chain. All must permit for a grant.
+pub trait LocalPolicy: Send + Sync {
+    /// Policy name, reported in `PolicyRefused` errors.
+    fn name(&self) -> &str;
+
+    /// Returns `Err(reason)` to refuse the request.
+    fn permit(
+        &self,
+        req: &ReservationRequest,
+        host_attrs: &AttributeDb,
+        now: SimTime,
+    ) -> Result<(), String>;
+}
+
+/// Accepts everything (the default chain).
+#[derive(Debug, Default)]
+pub struct AcceptAll;
+
+impl LocalPolicy for AcceptAll {
+    fn name(&self) -> &str {
+        "accept-all"
+    }
+
+    fn permit(&self, _: &ReservationRequest, _: &AttributeDb, _: SimTime) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Refuses requests originating from listed domains (§3.1).
+#[derive(Debug)]
+pub struct DomainRefusal {
+    refused: Vec<String>,
+}
+
+impl DomainRefusal {
+    /// Refuse the listed requester domains.
+    pub fn new(refused: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        DomainRefusal { refused: refused.into_iter().map(Into::into).collect() }
+    }
+
+    /// The refused domains.
+    pub fn refused(&self) -> &[String] {
+        &self.refused
+    }
+}
+
+impl LocalPolicy for DomainRefusal {
+    fn name(&self) -> &str {
+        "domain-refusal"
+    }
+
+    fn permit(&self, req: &ReservationRequest, _: &AttributeDb, _: SimTime) -> Result<(), String> {
+        if let Some(dom) = &req.requester_domain {
+            if self.refused.iter().any(|r| r == dom) {
+                return Err(format!("requests from domain `{dom}` are refused"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Refuses new work while the host's load exceeds a ceiling.
+#[derive(Debug)]
+pub struct LoadCeiling {
+    /// Maximum admissible load average.
+    pub max_load: f64,
+}
+
+impl LocalPolicy for LoadCeiling {
+    fn name(&self) -> &str {
+        "load-ceiling"
+    }
+
+    fn permit(&self, _: &ReservationRequest, attrs: &AttributeDb, _: SimTime) -> Result<(), String> {
+        let load = attrs.get_f64(legion_core::host::well_known::LOAD).unwrap_or(0.0);
+        if load > self.max_load {
+            Err(format!("load {load:.2} exceeds ceiling {:.2}", self.max_load))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Accepts external work only during an allowed window of the (virtual)
+/// day — "its willingness to accept extra jobs based on the time of day"
+/// (§3.1). Hours wrap midnight, so `from = 18, to = 8` means overnight.
+#[derive(Debug)]
+pub struct TimeOfDayWindow {
+    /// First accepting hour (0–23).
+    pub from_hour: u8,
+    /// First refusing hour (0–23); equal to `from_hour` means always.
+    pub to_hour: u8,
+}
+
+impl TimeOfDayWindow {
+    fn hour_of(now: SimTime) -> u8 {
+        ((now.as_micros() / 3_600_000_000) % 24) as u8
+    }
+}
+
+impl LocalPolicy for TimeOfDayWindow {
+    fn name(&self) -> &str {
+        "time-of-day"
+    }
+
+    fn permit(&self, _: &ReservationRequest, _: &AttributeDb, now: SimTime) -> Result<(), String> {
+        let h = Self::hour_of(now);
+        let open = if self.from_hour == self.to_hour {
+            true
+        } else if self.from_hour < self.to_hour {
+            (self.from_hour..self.to_hour).contains(&h)
+        } else {
+            h >= self.from_hour || h < self.to_hour
+        };
+        if open {
+            Ok(())
+        } else {
+            Err(format!(
+                "host accepts external jobs only {:02}:00-{:02}:00 (virtual), now {h:02}:00",
+                self.from_hour, self.to_hour
+            ))
+        }
+    }
+}
+
+/// Refuses work that would drop free memory below a floor.
+#[derive(Debug)]
+pub struct MemoryFloor {
+    /// Minimum free memory (MB) that must remain after the grant.
+    pub min_free_mb: u32,
+}
+
+impl LocalPolicy for MemoryFloor {
+    fn name(&self) -> &str {
+        "memory-floor"
+    }
+
+    fn permit(&self, req: &ReservationRequest, attrs: &AttributeDb, _: SimTime) -> Result<(), String> {
+        let free = attrs.get_i64(legion_core::host::well_known::FREE_MEMORY_MB).unwrap_or(0);
+        if free - req.memory_mb as i64 >= self.min_free_mb as i64 {
+            Ok(())
+        } else {
+            Err(format!(
+                "granting {} MB would leave {} MB free (< floor {})",
+                req.memory_mb,
+                free - req.memory_mb as i64,
+                self.min_free_mb
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::host::well_known;
+    use legion_core::{Loid, LoidKind, ReservationRequest, SimDuration};
+
+    fn req() -> ReservationRequest {
+        ReservationRequest::instantaneous(
+            Loid::synthetic(LoidKind::Class, 1),
+            Loid::synthetic(LoidKind::Vault, 1),
+            SimDuration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn accept_all_accepts() {
+        assert!(AcceptAll.permit(&req(), &AttributeDb::new(), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn domain_refusal() {
+        let p = DomainRefusal::new(["spam.org", "evil.net"]);
+        let ok = req().from_domain("uva.edu");
+        let bad = req().from_domain("evil.net");
+        let anon = req();
+        assert!(p.permit(&ok, &AttributeDb::new(), SimTime::ZERO).is_ok());
+        assert!(p.permit(&bad, &AttributeDb::new(), SimTime::ZERO).is_err());
+        // Anonymous requests are not covered by domain refusal.
+        assert!(p.permit(&anon, &AttributeDb::new(), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn load_ceiling() {
+        let p = LoadCeiling { max_load: 1.5 };
+        let low = AttributeDb::new().with(well_known::LOAD, 0.5);
+        let high = AttributeDb::new().with(well_known::LOAD, 2.0);
+        assert!(p.permit(&req(), &low, SimTime::ZERO).is_ok());
+        assert!(p.permit(&req(), &high, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn time_window_daytime() {
+        let p = TimeOfDayWindow { from_hour: 9, to_hour: 17 };
+        let at = |h: u64| SimTime::from_secs(h * 3600);
+        assert!(p.permit(&req(), &AttributeDb::new(), at(10)).is_ok());
+        assert!(p.permit(&req(), &AttributeDb::new(), at(8)).is_err());
+        assert!(p.permit(&req(), &AttributeDb::new(), at(17)).is_err());
+        // Next virtual day, 10:00 again.
+        assert!(p.permit(&req(), &AttributeDb::new(), at(34)).is_ok());
+    }
+
+    #[test]
+    fn time_window_overnight_wraps() {
+        let p = TimeOfDayWindow { from_hour: 18, to_hour: 8 };
+        let at = |h: u64| SimTime::from_secs(h * 3600);
+        assert!(p.permit(&req(), &AttributeDb::new(), at(20)).is_ok());
+        assert!(p.permit(&req(), &AttributeDb::new(), at(3)).is_ok());
+        assert!(p.permit(&req(), &AttributeDb::new(), at(12)).is_err());
+    }
+
+    #[test]
+    fn memory_floor() {
+        let p = MemoryFloor { min_free_mb: 128 };
+        let attrs = AttributeDb::new().with(well_known::FREE_MEMORY_MB, 256i64);
+        let mut r = req();
+        r.memory_mb = 64;
+        assert!(p.permit(&r, &attrs, SimTime::ZERO).is_ok());
+        r.memory_mb = 200;
+        assert!(p.permit(&r, &attrs, SimTime::ZERO).is_err());
+    }
+}

@@ -1,0 +1,470 @@
+//! Simulated batch-queue management systems.
+//!
+//! The paper integrates Legion with "queue management systems such as
+//! LoadLeveler and Condor" and reports "Batch Queue Host implementations
+//! for Unix machines, LoadLeveler, and Codine" (§2.1, §3.1). Those
+//! systems are proprietary; per DESIGN.md we substitute three simulated
+//! queue managers with the scheduling disciplines that distinguish them:
+//!
+//! * [`FcfsQueue`] — strict first-come-first-served (LoadLeveler-like);
+//! * [`PriorityQueue`] — priority order, FCFS within a priority
+//!   (Condor-like);
+//! * [`FairShareQueue`] — round-robin across users (Codine-like).
+//!
+//! None of them understands reservations — which is the paper's point:
+//! the Batch Queue Host keeps its own reservation table and only uses the
+//! queue for execution.
+
+use legion_core::{Loid, SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A job submitted to a queue system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Queue-local job id.
+    pub id: u64,
+    /// The Legion object the job runs.
+    pub object: Loid,
+    /// CPUs the job occupies.
+    pub cpus: u32,
+    /// How long the job runs once started.
+    pub runtime: SimDuration,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Submitting user (fair-share key).
+    pub user: String,
+    /// Priority (higher runs first where the discipline cares).
+    pub priority: i32,
+}
+
+/// A finished job with its timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedJob {
+    /// The job.
+    pub job: Job,
+    /// When it began executing.
+    pub started: SimTime,
+    /// When it finished.
+    pub finished: SimTime,
+}
+
+impl CompletedJob {
+    /// Time spent waiting in the queue.
+    pub fn queue_wait(&self) -> SimDuration {
+        self.started.since(self.job.submitted)
+    }
+}
+
+/// A queue management system simulator.
+///
+/// `advance(now)` first completes running jobs whose runtime has elapsed,
+/// then starts queued jobs into free slots per the discipline. Drivers
+/// call it from the Batch Queue Host's periodic reassessment.
+pub trait QueueSim: Send {
+    /// Discipline name, exported in host attributes.
+    fn name(&self) -> &'static str;
+
+    /// Submits a job.
+    fn submit(&mut self, job: Job);
+
+    /// Removes a job (queued or running); true if it existed.
+    fn remove(&mut self, object: Loid) -> bool;
+
+    /// Advances to `now`; returns jobs that completed.
+    fn advance(&mut self, now: SimTime) -> Vec<CompletedJob>;
+
+    /// Jobs currently executing.
+    fn running(&self) -> usize;
+
+    /// Jobs waiting.
+    fn queued(&self) -> usize;
+
+    /// Total CPU slots.
+    fn slots(&self) -> u32;
+}
+
+#[derive(Debug, Clone)]
+struct RunningJob {
+    job: Job,
+    started: SimTime,
+    ends: SimTime,
+}
+
+/// Shared mechanics: slot accounting + completion; the discipline only
+/// decides *which* queued job starts next.
+#[derive(Debug)]
+struct QueueCore {
+    slots: u32,
+    in_use: u32,
+    running: Vec<RunningJob>,
+}
+
+impl QueueCore {
+    fn new(slots: u32) -> Self {
+        QueueCore { slots, in_use: 0, running: Vec::new() }
+    }
+
+    fn complete(&mut self, now: SimTime) -> Vec<CompletedJob> {
+        let mut done = Vec::new();
+        self.running.retain(|r| {
+            if r.ends <= now {
+                done.push(CompletedJob { job: r.job.clone(), started: r.started, finished: r.ends });
+                false
+            } else {
+                true
+            }
+        });
+        for d in &done {
+            self.in_use -= d.job.cpus;
+        }
+        done
+    }
+
+    fn try_start(&mut self, job: Job, now: SimTime) -> bool {
+        if self.in_use + job.cpus <= self.slots {
+            self.in_use += job.cpus;
+            let ends = now + job.runtime;
+            self.running.push(RunningJob { job, started: now, ends });
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove_running(&mut self, object: Loid) -> bool {
+        if let Some(i) = self.running.iter().position(|r| r.job.object == object) {
+            self.in_use -= self.running[i].job.cpus;
+            self.running.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Strict first-come-first-served (LoadLeveler-like).
+#[derive(Debug)]
+pub struct FcfsQueue {
+    core: QueueCore,
+    queue: VecDeque<Job>,
+}
+
+impl FcfsQueue {
+    /// A queue over `slots` CPU slots.
+    pub fn new(slots: u32) -> Self {
+        FcfsQueue { core: QueueCore::new(slots), queue: VecDeque::new() }
+    }
+}
+
+impl QueueSim for FcfsQueue {
+    fn name(&self) -> &'static str {
+        "loadleveler-sim"
+    }
+
+    fn submit(&mut self, job: Job) {
+        self.queue.push_back(job);
+    }
+
+    fn remove(&mut self, object: Loid) -> bool {
+        if let Some(i) = self.queue.iter().position(|j| j.object == object) {
+            self.queue.remove(i);
+            return true;
+        }
+        self.core.remove_running(object)
+    }
+
+    fn advance(&mut self, now: SimTime) -> Vec<CompletedJob> {
+        let done = self.core.complete(now);
+        // FCFS with no backfilling: stop at the first job that won't fit.
+        while let Some(job) = self.queue.front() {
+            if self.core.in_use + job.cpus > self.core.slots {
+                break;
+            }
+            let job = self.queue.pop_front().expect("front checked");
+            assert!(self.core.try_start(job, now));
+        }
+        done
+    }
+
+    fn running(&self) -> usize {
+        self.core.running.len()
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn slots(&self) -> u32 {
+        self.core.slots
+    }
+}
+
+/// Priority scheduling, FCFS within a priority level (Condor-like).
+#[derive(Debug)]
+pub struct PriorityQueue {
+    core: QueueCore,
+    queue: Vec<Job>,
+}
+
+impl PriorityQueue {
+    /// A queue over `slots` CPU slots.
+    pub fn new(slots: u32) -> Self {
+        PriorityQueue { core: QueueCore::new(slots), queue: Vec::new() }
+    }
+}
+
+impl QueueSim for PriorityQueue {
+    fn name(&self) -> &'static str {
+        "condor-sim"
+    }
+
+    fn submit(&mut self, job: Job) {
+        self.queue.push(job);
+    }
+
+    fn remove(&mut self, object: Loid) -> bool {
+        if let Some(i) = self.queue.iter().position(|j| j.object == object) {
+            self.queue.remove(i);
+            return true;
+        }
+        self.core.remove_running(object)
+    }
+
+    fn advance(&mut self, now: SimTime) -> Vec<CompletedJob> {
+        let done = self.core.complete(now);
+        loop {
+            // Highest priority first; ties broken by submission order
+            // (stable because we scan in insertion order with strict >).
+            let mut best: Option<usize> = None;
+            for (i, j) in self.queue.iter().enumerate() {
+                if self.core.in_use + j.cpus > self.core.slots {
+                    continue;
+                }
+                match best {
+                    None => best = Some(i),
+                    Some(b) if j.priority > self.queue[b].priority => best = Some(i),
+                    _ => {}
+                }
+            }
+            match best {
+                Some(i) => {
+                    let job = self.queue.remove(i);
+                    assert!(self.core.try_start(job, now));
+                }
+                None => break,
+            }
+        }
+        done
+    }
+
+    fn running(&self) -> usize {
+        self.core.running.len()
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn slots(&self) -> u32 {
+        self.core.slots
+    }
+}
+
+/// Round-robin across users (Codine/fair-share-like).
+#[derive(Debug)]
+pub struct FairShareQueue {
+    core: QueueCore,
+    per_user: BTreeMap<String, VecDeque<Job>>,
+    /// Users in service order; rotated as they are served.
+    rotation: VecDeque<String>,
+}
+
+impl FairShareQueue {
+    /// A queue over `slots` CPU slots.
+    pub fn new(slots: u32) -> Self {
+        FairShareQueue { core: QueueCore::new(slots), per_user: BTreeMap::new(), rotation: VecDeque::new() }
+    }
+}
+
+impl QueueSim for FairShareQueue {
+    fn name(&self) -> &'static str {
+        "codine-sim"
+    }
+
+    fn submit(&mut self, job: Job) {
+        if !self.per_user.contains_key(&job.user) {
+            self.rotation.push_back(job.user.clone());
+        }
+        self.per_user.entry(job.user.clone()).or_default().push_back(job);
+    }
+
+    fn remove(&mut self, object: Loid) -> bool {
+        for q in self.per_user.values_mut() {
+            if let Some(i) = q.iter().position(|j| j.object == object) {
+                q.remove(i);
+                return true;
+            }
+        }
+        self.core.remove_running(object)
+    }
+
+    fn advance(&mut self, now: SimTime) -> Vec<CompletedJob> {
+        let done = self.core.complete(now);
+        // Serve users round-robin until nothing startable remains.
+        let mut stalled = 0;
+        while stalled < self.rotation.len() && !self.rotation.is_empty() {
+            let Some(user) = self.rotation.pop_front() else { break };
+            let started = if let Some(q) = self.per_user.get_mut(&user) {
+                if let Some(job) = q.front() {
+                    if self.core.in_use + job.cpus <= self.core.slots {
+                        let job = q.pop_front().expect("front checked");
+                        assert!(self.core.try_start(job, now));
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            let empty = self.per_user.get(&user).is_none_or(|q| q.is_empty());
+            if empty {
+                self.per_user.remove(&user);
+            } else {
+                self.rotation.push_back(user);
+            }
+            stalled = if started { 0 } else { stalled + 1 };
+        }
+        done
+    }
+
+    fn running(&self) -> usize {
+        self.core.running.len()
+    }
+
+    fn queued(&self) -> usize {
+        self.per_user.values().map(|q| q.len()).sum()
+    }
+
+    fn slots(&self) -> u32 {
+        self.core.slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::LoidKind;
+
+    fn job(id: u64, cpus: u32, secs: u64) -> Job {
+        Job {
+            id,
+            object: Loid::synthetic(LoidKind::Instance, id),
+            cpus,
+            runtime: SimDuration::from_secs(secs),
+            submitted: SimTime::ZERO,
+            user: "alice".into(),
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn fcfs_runs_in_order() {
+        let mut q = FcfsQueue::new(1);
+        q.submit(job(1, 1, 10));
+        q.submit(job(2, 1, 10));
+        q.advance(SimTime::ZERO);
+        assert_eq!(q.running(), 1);
+        assert_eq!(q.queued(), 1);
+        let done = q.advance(SimTime::from_secs(10));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].job.id, 1);
+        assert_eq!(q.running(), 1); // job 2 started at t=10
+        let done = q.advance(SimTime::from_secs(20));
+        assert_eq!(done[0].job.id, 2);
+        assert_eq!(done[0].queue_wait(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn fcfs_does_not_backfill() {
+        let mut q = FcfsQueue::new(2);
+        q.submit(job(1, 2, 10));
+        q.advance(SimTime::ZERO);
+        q.submit(job(2, 2, 10)); // blocks the head
+        q.submit(job(3, 1, 1)); // would fit, but FCFS won't jump it
+        q.advance(SimTime::from_secs(1));
+        assert_eq!(q.running(), 1);
+        assert_eq!(q.queued(), 2);
+    }
+
+    #[test]
+    fn priority_orders_by_priority() {
+        let mut q = PriorityQueue::new(1);
+        let mut lo = job(1, 1, 5);
+        lo.priority = 1;
+        let mut hi = job(2, 1, 5);
+        hi.priority = 9;
+        q.submit(lo);
+        q.submit(hi);
+        q.advance(SimTime::ZERO);
+        let done = q.advance(SimTime::from_secs(5));
+        assert_eq!(done[0].job.id, 2, "high priority runs first");
+    }
+
+    #[test]
+    fn priority_ties_are_fcfs() {
+        let mut q = PriorityQueue::new(1);
+        q.submit(job(1, 1, 5));
+        q.submit(job(2, 1, 5));
+        q.advance(SimTime::ZERO);
+        let done = q.advance(SimTime::from_secs(5));
+        assert_eq!(done[0].job.id, 1);
+    }
+
+    #[test]
+    fn fair_share_alternates_users() {
+        let mut q = FairShareQueue::new(1);
+        for i in 0..3 {
+            let mut j = job(i, 1, 10);
+            j.user = "alice".into();
+            j.id = i;
+            q.submit(j);
+        }
+        let mut bob = job(10, 1, 10);
+        bob.user = "bob".into();
+        q.submit(bob);
+
+        // alice's first job starts; at its completion bob goes next even
+        // though alice queued earlier jobs.
+        q.advance(SimTime::ZERO);
+        let done = q.advance(SimTime::from_secs(10));
+        assert_eq!(done[0].job.user, "alice");
+        let done = q.advance(SimTime::from_secs(20));
+        assert_eq!(done[0].job.user, "bob", "fair share should rotate to bob");
+    }
+
+    #[test]
+    fn remove_covers_queued_and_running() {
+        let mut q = FcfsQueue::new(1);
+        q.submit(job(1, 1, 10));
+        q.submit(job(2, 1, 10));
+        q.advance(SimTime::ZERO);
+        assert!(q.remove(Loid::synthetic(LoidKind::Instance, 2))); // queued
+        assert!(q.remove(Loid::synthetic(LoidKind::Instance, 1))); // running
+        assert!(!q.remove(Loid::synthetic(LoidKind::Instance, 3)));
+        assert_eq!(q.running() + q.queued(), 0);
+    }
+
+    #[test]
+    fn multi_cpu_jobs_respect_slots() {
+        let mut q = FcfsQueue::new(4);
+        q.submit(job(1, 3, 10));
+        q.submit(job(2, 2, 10));
+        q.advance(SimTime::ZERO);
+        assert_eq!(q.running(), 1, "3+2 > 4 slots");
+        q.advance(SimTime::from_secs(10));
+        assert_eq!(q.running(), 1, "second starts after first completes");
+    }
+}

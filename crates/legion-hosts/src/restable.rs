@@ -1,0 +1,512 @@
+//! The host-side reservation table.
+//!
+//! "the standard Unix Host Object maintains a reservation table in the
+//! Host Object, because the Unix OS has no notion of reservations.
+//! Similarly, most batch processing systems do not understand
+//! reservations, and so our basic Batch Queue Host maintains reservations
+//! in a fashion similar to the Unix Host Object." (§3.1)
+//!
+//! The table implements the admission semantics of **Table 2**:
+//!
+//! * an *unshared* (`share = 0`) reservation "allocates the entire
+//!   resource" — it conflicts with any other reservation overlapping its
+//!   service window, in either direction;
+//! * *shared* (`share = 1`) reservations multiplex the host: the summed
+//!   CPU and memory demand of overlapping shared holders must fit the
+//!   host's capacity;
+//! * a *one-shot* (`reuse = 0`) token is consumed by its first
+//!   `start_object()`; a *reusable* (`reuse = 1`) token may be presented
+//!   repeatedly while its window lasts;
+//! * an instantaneous reservation lapses if not confirmed within its
+//!   timeout — "confirmation is implicit when the reservation token is
+//!   presented with the StartObject() call" (§3.1).
+
+use legion_core::{
+    LegionError, Loid, ReservationRequest, ReservationStatus, ReservationToken, SimTime,
+    TokenMinter,
+};
+use std::collections::BTreeMap;
+
+/// Capacity the table admits against.
+#[derive(Debug, Clone, Copy)]
+pub struct TableCapacity {
+    /// Total CPU, in hundredths of a processor (ncpus × 100).
+    pub cpu_centis: u32,
+    /// Total memory, MB.
+    pub memory_mb: u32,
+}
+
+/// Lifecycle state of one reservation entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    /// Granted; awaiting confirmation or its start time.
+    Pending,
+    /// Confirmed by a `start_object()`; reusable tokens stay here.
+    Confirmed,
+    /// One-shot token consumed.
+    Consumed,
+    /// Cancelled by the Enactor.
+    Cancelled,
+    /// Lapsed (confirmation timeout or window end), or released early.
+    Expired,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    token: ReservationToken,
+    state: EntryState,
+}
+
+impl Entry {
+    /// Whether this entry holds resources during `[start, end)` overlap
+    /// checks: pending, confirmed and consumed entries all hold their
+    /// window; cancelled/expired do not.
+    fn holds(&self) -> bool {
+        matches!(self.state, EntryState::Pending | EntryState::Confirmed | EntryState::Consumed)
+    }
+
+    fn overlaps(&self, start: SimTime, end: SimTime) -> bool {
+        self.token.start < end && start < self.token.end()
+    }
+}
+
+/// The reservation table: mints, admits, confirms, expires.
+#[derive(Debug)]
+pub struct ReservationTable {
+    host: Loid,
+    capacity: TableCapacity,
+    minter: TokenMinter,
+    entries: BTreeMap<u64, Entry>,
+}
+
+impl ReservationTable {
+    /// Creates a table for a host with the given capacity and secret.
+    pub fn new(host: Loid, secret: u64, capacity: TableCapacity) -> Self {
+        ReservationTable {
+            host,
+            capacity,
+            minter: TokenMinter::new(host, secret),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Attempts to admit and mint a reservation.
+    pub fn make(
+        &mut self,
+        req: &ReservationRequest,
+        now: SimTime,
+    ) -> Result<ReservationToken, LegionError> {
+        self.sweep(now);
+        self.autocompact();
+        let start = req.start.unwrap_or(now);
+        let end = start + req.duration;
+        let host = self.minter_host();
+
+        // Effective demand: an unshared reservation takes the machine.
+        let (cpu, mem) = if req.rtype.share {
+            (req.cpu_centis, req.memory_mb)
+        } else {
+            (self.capacity.cpu_centis, self.capacity.memory_mb)
+        };
+        if cpu > self.capacity.cpu_centis || mem > self.capacity.memory_mb {
+            return Err(LegionError::ReservationDenied {
+                host,
+                reason: format!(
+                    "demand ({cpu} cpu-centis, {mem} MB) exceeds capacity ({}, {})",
+                    self.capacity.cpu_centis, self.capacity.memory_mb
+                ),
+            });
+        }
+
+        let mut cpu_held: u64 = 0;
+        let mut mem_held: u64 = 0;
+        for e in self.entries.values().filter(|e| e.holds() && e.overlaps(start, end)) {
+            if !e.token.rtype.share || !req.rtype.share {
+                // Either side unshared ⇒ exclusive conflict.
+                return Err(LegionError::ReservationDenied {
+                    host,
+                    reason: "window conflicts with an exclusive reservation".into(),
+                });
+            }
+            cpu_held += e.token.cpu_centis as u64;
+            mem_held += e.token.memory_mb as u64;
+        }
+        if cpu_held + cpu as u64 > self.capacity.cpu_centis as u64
+            || mem_held + mem as u64 > self.capacity.memory_mb as u64
+        {
+            return Err(LegionError::ReservationDenied {
+                host,
+                reason: format!(
+                    "insufficient shared capacity: {cpu_held}/{} cpu-centis, {mem_held}/{} MB held",
+                    self.capacity.cpu_centis, self.capacity.memory_mb
+                ),
+            });
+        }
+
+        // Instantaneous reservations get a confirmation deadline.
+        let confirm_by = match (req.start, req.timeout) {
+            (None, Some(t)) => Some(now + t),
+            _ => None,
+        };
+        let token = self.minter.mint(req, start, confirm_by);
+        self.entries.insert(token.serial, Entry { token: token.clone(), state: EntryState::Pending });
+        Ok(token)
+    }
+
+    /// Reports a token's status (with lazy expiry).
+    pub fn check(
+        &mut self,
+        token: &ReservationToken,
+        now: SimTime,
+    ) -> Result<ReservationStatus, LegionError> {
+        if !self.minter.verify(token) {
+            return Err(LegionError::InvalidToken);
+        }
+        self.sweep(now);
+        let e = self.entries.get(&token.serial).ok_or(LegionError::InvalidToken)?;
+        Ok(match e.state {
+            EntryState::Pending => {
+                if e.token.covers(now) {
+                    ReservationStatus::Active
+                } else {
+                    ReservationStatus::Pending
+                }
+            }
+            EntryState::Confirmed => ReservationStatus::Active,
+            EntryState::Consumed => ReservationStatus::Consumed,
+            EntryState::Cancelled => ReservationStatus::Cancelled,
+            EntryState::Expired => ReservationStatus::Expired,
+        })
+    }
+
+    /// Confirms/consumes a token presented with `start_object()`.
+    pub fn consume(
+        &mut self,
+        token: &ReservationToken,
+        now: SimTime,
+    ) -> Result<(), LegionError> {
+        if !self.minter.verify(token) {
+            return Err(LegionError::InvalidToken);
+        }
+        self.sweep(now);
+        let e = self.entries.get_mut(&token.serial).ok_or(LegionError::InvalidToken)?;
+        match e.state {
+            EntryState::Consumed => return Err(LegionError::ReservationConsumed),
+            EntryState::Cancelled | EntryState::Expired => {
+                return Err(LegionError::ReservationExpired)
+            }
+            EntryState::Pending | EntryState::Confirmed => {}
+        }
+        if now < e.token.start {
+            return Err(LegionError::ReservationDenied {
+                host: e.token.host,
+                reason: format!("service window opens at {}", e.token.start),
+            });
+        }
+        if now >= e.token.end() {
+            e.state = EntryState::Expired;
+            return Err(LegionError::ReservationExpired);
+        }
+        e.state = if e.token.rtype.reuse { EntryState::Confirmed } else { EntryState::Consumed };
+        Ok(())
+    }
+
+    /// Cancels a reservation (Enactor backing out of a schedule).
+    pub fn cancel(&mut self, token: &ReservationToken) -> Result<(), LegionError> {
+        if !self.minter.verify(token) {
+            return Err(LegionError::InvalidToken);
+        }
+        let e = self.entries.get_mut(&token.serial).ok_or(LegionError::InvalidToken)?;
+        e.state = EntryState::Cancelled;
+        Ok(())
+    }
+
+    /// Releases a reservation early (e.g. its one-shot job finished),
+    /// freeing the window for others.
+    pub fn release(&mut self, serial: u64) {
+        if let Some(e) = self.entries.get_mut(&serial) {
+            if e.holds() {
+                e.state = EntryState::Expired;
+            }
+        }
+    }
+
+    /// Expires lapsed entries; returns the tokens that expired this sweep.
+    pub fn sweep(&mut self, now: SimTime) -> Vec<ReservationToken> {
+        let mut expired = Vec::new();
+        for e in self.entries.values_mut() {
+            let lapsed_confirmation = e.state == EntryState::Pending
+                && e.token.confirm_by.is_some_and(|d| now >= d);
+            let window_over = e.holds() && now >= e.token.end();
+            if lapsed_confirmation || window_over {
+                e.state = EntryState::Expired;
+                expired.push(e.token.clone());
+            }
+        }
+        expired
+    }
+
+    /// (cpu-centis, MB) held by reservations whose window covers `now`.
+    pub fn held_at(&self, now: SimTime) -> (u32, u32) {
+        let mut cpu = 0u32;
+        let mut mem = 0u32;
+        for e in self.entries.values().filter(|e| e.holds() && e.token.covers(now)) {
+            if e.token.rtype.share {
+                cpu += e.token.cpu_centis;
+                mem += e.token.memory_mb;
+            } else {
+                cpu = self.capacity.cpu_centis;
+                mem = self.capacity.memory_mb;
+            }
+        }
+        (cpu.min(self.capacity.cpu_centis), mem.min(self.capacity.memory_mb))
+    }
+
+    /// Number of live (holding) entries.
+    pub fn live_count(&self) -> usize {
+        self.entries.values().filter(|e| e.holds()).count()
+    }
+
+    /// Total entries ever granted (diagnostics).
+    pub fn total_granted(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops cancelled/expired entries older than `horizon` to bound
+    /// memory in long experiments.
+    pub fn compact(&mut self, horizon: SimTime) {
+        self.entries.retain(|_, e| e.holds() || e.token.end() >= horizon);
+    }
+
+    /// Garbage-collects dead entries once they dominate the table, so
+    /// admission scans stay proportional to *live* reservations rather
+    /// than all reservations ever granted. Checks against a collected
+    /// token thereafter report `InvalidToken` (the record is gone), the
+    /// same observable behaviour as an explicit [`Self::compact`].
+    fn autocompact(&mut self) {
+        const MIN_ENTRIES: usize = 64;
+        if self.entries.len() < MIN_ENTRIES {
+            return;
+        }
+        let live = self.live_count();
+        if self.entries.len() > 4 * live.max(1) {
+            self.entries.retain(|_, e| e.holds());
+        }
+    }
+
+    /// Verifies a token without touching state.
+    pub fn verify(&self, token: &ReservationToken) -> bool {
+        self.minter.verify(token)
+    }
+
+    fn minter_host(&self) -> Loid {
+        self.host
+    }
+
+    /// The host this table belongs to.
+    pub fn host(&self) -> Loid {
+        self.host
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::{LoidKind, ReservationType, SimDuration};
+
+    fn table(cpu: u32, mem: u32) -> ReservationTable {
+        ReservationTable::new(
+            Loid::synthetic(LoidKind::Host, 1),
+            0xBEEF,
+            TableCapacity { cpu_centis: cpu, memory_mb: mem },
+        )
+    }
+
+    fn req(rtype: ReservationType, cpu: u32, mem: u32) -> ReservationRequest {
+        ReservationRequest::instantaneous(
+            Loid::synthetic(LoidKind::Class, 1),
+            Loid::synthetic(LoidKind::Vault, 1),
+            SimDuration::from_secs(100),
+        )
+        .with_type(rtype)
+        .with_demand(cpu, mem)
+    }
+
+    #[test]
+    fn unshared_is_exclusive() {
+        let mut t = table(400, 1024);
+        let r = req(ReservationType::REUSABLE_SPACE, 100, 64);
+        t.make(&r, SimTime::ZERO).unwrap();
+        // Any second overlapping reservation is refused, shared or not.
+        assert!(t.make(&req(ReservationType::ONE_SHOT_TIME, 100, 64), SimTime::ZERO).is_err());
+        assert!(t.make(&req(ReservationType::ONE_SHOT_SPACE, 100, 64), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn shared_multiplexes_until_capacity() {
+        let mut t = table(400, 1024);
+        let r = req(ReservationType::ONE_SHOT_TIME, 150, 256);
+        t.make(&r, SimTime::ZERO).unwrap();
+        t.make(&r, SimTime::ZERO).unwrap();
+        // 300/400 centis held; a 150-centi request no longer fits.
+        assert!(t.make(&r, SimTime::ZERO).is_err());
+        // But a 100-centi one does.
+        t.make(&req(ReservationType::ONE_SHOT_TIME, 100, 256), SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn memory_is_also_admitted() {
+        let mut t = table(400, 256);
+        t.make(&req(ReservationType::ONE_SHOT_TIME, 50, 200), SimTime::ZERO).unwrap();
+        assert!(t.make(&req(ReservationType::ONE_SHOT_TIME, 50, 100), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn shared_after_unshared_conflicts() {
+        let mut t = table(400, 1024);
+        t.make(&req(ReservationType::ONE_SHOT_TIME, 100, 64), SimTime::ZERO).unwrap();
+        // An exclusive request must fail while shared holders overlap.
+        assert!(t.make(&req(ReservationType::REUSABLE_SPACE, 100, 64), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn disjoint_windows_coexist() {
+        let mut t = table(100, 128);
+        let early = req(ReservationType::REUSABLE_SPACE, 100, 128)
+            .starting_at(SimTime::from_secs(0));
+        let late = req(ReservationType::REUSABLE_SPACE, 100, 128)
+            .starting_at(SimTime::from_secs(100));
+        t.make(&early, SimTime::ZERO).unwrap();
+        t.make(&late, SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn one_shot_consumed_once() {
+        let mut t = table(400, 1024);
+        let tok = t.make(&req(ReservationType::ONE_SHOT_TIME, 100, 64), SimTime::ZERO).unwrap();
+        t.consume(&tok, SimTime::from_secs(1)).unwrap();
+        assert!(matches!(
+            t.consume(&tok, SimTime::from_secs(2)),
+            Err(LegionError::ReservationConsumed)
+        ));
+        assert_eq!(
+            t.check(&tok, SimTime::from_secs(2)).unwrap(),
+            ReservationStatus::Consumed
+        );
+    }
+
+    #[test]
+    fn reusable_consumed_many_times() {
+        let mut t = table(400, 1024);
+        let tok = t.make(&req(ReservationType::REUSABLE_TIME, 100, 64), SimTime::ZERO).unwrap();
+        for s in 1..5 {
+            t.consume(&tok, SimTime::from_secs(s)).unwrap();
+        }
+        assert_eq!(t.check(&tok, SimTime::from_secs(5)).unwrap(), ReservationStatus::Active);
+    }
+
+    #[test]
+    fn confirmation_timeout_expires() {
+        let mut t = table(400, 1024);
+        let mut r = req(ReservationType::ONE_SHOT_TIME, 100, 64);
+        r.timeout = Some(SimDuration::from_secs(10));
+        let tok = t.make(&r, SimTime::ZERO).unwrap();
+        assert_eq!(t.check(&tok, SimTime::from_secs(5)).unwrap(), ReservationStatus::Active);
+        // Past the timeout without confirmation: expired.
+        assert_eq!(t.check(&tok, SimTime::from_secs(11)).unwrap(), ReservationStatus::Expired);
+        assert!(matches!(
+            t.consume(&tok, SimTime::from_secs(12)),
+            Err(LegionError::ReservationExpired)
+        ));
+    }
+
+    #[test]
+    fn confirmation_within_timeout_sticks() {
+        let mut t = table(400, 1024);
+        let mut r = req(ReservationType::REUSABLE_TIME, 100, 64);
+        r.timeout = Some(SimDuration::from_secs(10));
+        let tok = t.make(&r, SimTime::ZERO).unwrap();
+        t.consume(&tok, SimTime::from_secs(5)).unwrap();
+        // The confirmation deadline no longer applies once confirmed.
+        assert_eq!(t.check(&tok, SimTime::from_secs(50)).unwrap(), ReservationStatus::Active);
+    }
+
+    #[test]
+    fn future_reservation_cannot_start_early() {
+        let mut t = table(400, 1024);
+        let r = req(ReservationType::REUSABLE_SPACE, 100, 64).starting_at(SimTime::from_secs(100));
+        let tok = t.make(&r, SimTime::ZERO).unwrap();
+        assert!(t.consume(&tok, SimTime::from_secs(50)).is_err());
+        t.consume(&tok, SimTime::from_secs(100)).unwrap();
+    }
+
+    #[test]
+    fn window_end_expires() {
+        let mut t = table(400, 1024);
+        let tok = t.make(&req(ReservationType::REUSABLE_TIME, 100, 64), SimTime::ZERO).unwrap();
+        t.consume(&tok, SimTime::from_secs(1)).unwrap();
+        assert!(matches!(
+            t.consume(&tok, SimTime::from_secs(101)),
+            Err(LegionError::ReservationExpired)
+        ));
+    }
+
+    #[test]
+    fn cancel_frees_capacity() {
+        let mut t = table(100, 128);
+        let tok = t.make(&req(ReservationType::REUSABLE_SPACE, 100, 128), SimTime::ZERO).unwrap();
+        assert!(t.make(&req(ReservationType::ONE_SHOT_TIME, 50, 64), SimTime::ZERO).is_err());
+        t.cancel(&tok).unwrap();
+        t.make(&req(ReservationType::ONE_SHOT_TIME, 50, 64), SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn forged_tokens_rejected_everywhere() {
+        let mut t = table(400, 1024);
+        let tok = t.make(&req(ReservationType::ONE_SHOT_TIME, 100, 64), SimTime::ZERO).unwrap();
+        let mut forged = tok.clone();
+        forged.cpu_centis = 1; // try to shrink the footprint
+        assert!(matches!(t.check(&forged, SimTime::ZERO), Err(LegionError::InvalidToken)));
+        assert!(matches!(t.consume(&forged, SimTime::ZERO), Err(LegionError::InvalidToken)));
+        assert!(matches!(t.cancel(&forged), Err(LegionError::InvalidToken)));
+        // The genuine token still works.
+        t.consume(&tok, SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn held_at_accounts_types() {
+        let mut t = table(400, 1024);
+        t.make(&req(ReservationType::ONE_SHOT_TIME, 150, 100), SimTime::ZERO).unwrap();
+        t.make(&req(ReservationType::ONE_SHOT_TIME, 100, 100), SimTime::ZERO).unwrap();
+        assert_eq!(t.held_at(SimTime::from_secs(1)), (250, 200));
+        // After the windows close, nothing is held.
+        t.sweep(SimTime::from_secs(200));
+        assert_eq!(t.held_at(SimTime::from_secs(200)), (0, 0));
+    }
+
+    #[test]
+    fn release_frees_early() {
+        let mut t = table(100, 128);
+        let tok = t.make(&req(ReservationType::REUSABLE_SPACE, 100, 128), SimTime::ZERO).unwrap();
+        t.consume(&tok, SimTime::ZERO).unwrap();
+        t.release(tok.serial);
+        t.make(&req(ReservationType::ONE_SHOT_TIME, 50, 64), SimTime::from_secs(1)).unwrap();
+    }
+
+    #[test]
+    fn compact_retains_live() {
+        let mut t = table(400, 1024);
+        let tok = t.make(&req(ReservationType::ONE_SHOT_TIME, 100, 64), SimTime::ZERO).unwrap();
+        let tok2 = t
+            .make(
+                &req(ReservationType::ONE_SHOT_TIME, 100, 64).starting_at(SimTime::from_secs(500)),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        t.cancel(&tok).unwrap();
+        t.compact(SimTime::from_secs(400));
+        assert_eq!(t.total_granted(), 1);
+        assert_eq!(t.check(&tok2, SimTime::ZERO).unwrap(), ReservationStatus::Pending);
+        assert!(matches!(t.check(&tok, SimTime::ZERO), Err(LegionError::InvalidToken)));
+    }
+}

@@ -1,0 +1,165 @@
+//! Model-based property tests for the reservation table.
+//!
+//! The table is the host's capacity ledger; its core invariant is that
+//! the resources held by live reservations never exceed the machine
+//! (Table 2 semantics). We drive it with random operation sequences and
+//! check invariants after every step.
+
+use legion_core::{
+    LegionError, Loid, LoidKind, ReservationRequest, ReservationToken, ReservationType,
+    SimDuration, SimTime,
+};
+use legion_hosts::{ReservationTable, TableCapacity};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Request (share, reuse, cpu, mem, start_slot, dur_slots).
+    Make { share: bool, reuse: bool, cpu: u32, mem: u32, start: u64, dur: u64 },
+    /// Consume the i-th granted token (mod #granted).
+    Consume(usize),
+    /// Cancel the i-th granted token.
+    Cancel(usize),
+    /// Advance time by one slot and sweep.
+    Tick,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<bool>(), any::<bool>(), 1u32..200, 1u32..600, 0u64..6, 1u64..4).prop_map(
+            |(share, reuse, cpu, mem, start, dur)| Op::Make {
+                share,
+                reuse,
+                cpu,
+                mem,
+                start,
+                dur
+            }
+        ),
+        (0usize..16).prop_map(Op::Consume),
+        (0usize..16).prop_map(Op::Cancel),
+        Just(Op::Tick),
+    ]
+}
+
+const CAP_CPU: u32 = 400;
+const CAP_MEM: u32 = 1024;
+const SLOT: u64 = 100; // seconds per time slot
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// After any operation sequence, resources held at any probed time
+    /// never exceed capacity, and exclusive windows are never shared.
+    #[test]
+    fn held_never_exceeds_capacity(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let host = Loid::synthetic(LoidKind::Host, 1);
+        let mut table = ReservationTable::new(
+            host,
+            7,
+            TableCapacity { cpu_centis: CAP_CPU, memory_mb: CAP_MEM },
+        );
+        let mut now = SimTime::ZERO;
+        let mut granted: Vec<ReservationToken> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Make { share, reuse, cpu, mem, start, dur } => {
+                    let req = ReservationRequest::instantaneous(
+                        Loid::synthetic(LoidKind::Class, 1),
+                        Loid::synthetic(LoidKind::Vault, 1),
+                        SimDuration::from_secs(dur * SLOT),
+                    )
+                    .with_type(ReservationType { share, reuse })
+                    .with_demand(cpu, mem)
+                    .starting_at(now + SimDuration::from_secs(start * SLOT));
+                    match table.make(&req, now) {
+                        Ok(tok) => granted.push(tok),
+                        Err(LegionError::ReservationDenied { .. }) => {}
+                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                    }
+                }
+                Op::Consume(i) if !granted.is_empty() => {
+                    let tok = granted[i % granted.len()].clone();
+                    // Any outcome is legal; state machine errors are typed.
+                    match table.consume(&tok, now) {
+                        Ok(())
+                        | Err(LegionError::ReservationConsumed)
+                        | Err(LegionError::ReservationExpired)
+                        | Err(LegionError::ReservationDenied { .. }) => {}
+                        Err(e) => prop_assert!(false, "unexpected consume error {e}"),
+                    }
+                }
+                Op::Cancel(i) if !granted.is_empty() => {
+                    let tok = granted[i % granted.len()].clone();
+                    table.cancel(&tok).expect("genuine tokens always cancellable");
+                }
+                Op::Consume(_) | Op::Cancel(_) => {}
+                Op::Tick => {
+                    now += SimDuration::from_secs(SLOT);
+                    table.sweep(now);
+                }
+            }
+
+            // Invariant: capacity respected at a spread of probe times.
+            for probe in 0..10u64 {
+                let t = SimTime::from_secs(probe * SLOT);
+                let (cpu, mem) = table.held_at(t);
+                prop_assert!(cpu <= CAP_CPU, "cpu {cpu} over capacity at {t}");
+                prop_assert!(mem <= CAP_MEM, "mem {mem} over capacity at {t}");
+            }
+        }
+    }
+
+    /// A granted token always verifies; a token from another table never
+    /// does.
+    #[test]
+    fn token_provenance(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        prop_assume!(seed_a != seed_b);
+        let host = Loid::synthetic(LoidKind::Host, 1);
+        let cap = TableCapacity { cpu_centis: 100, memory_mb: 100 };
+        let mut a = ReservationTable::new(host, seed_a, cap);
+        let b = ReservationTable::new(host, seed_b, cap);
+        let req = ReservationRequest::instantaneous(
+            Loid::synthetic(LoidKind::Class, 1),
+            Loid::synthetic(LoidKind::Vault, 1),
+            SimDuration::from_secs(10),
+        )
+        .with_demand(10, 10);
+        let tok = a.make(&req, SimTime::ZERO).unwrap();
+        prop_assert!(a.verify(&tok));
+        prop_assert!(!b.verify(&tok));
+    }
+
+    /// Disjoint exclusive windows all admit; overlapping ones admit at
+    /// most one per window.
+    #[test]
+    fn exclusive_windows_partition(slots in proptest::collection::vec(0u64..8, 1..12)) {
+        let host = Loid::synthetic(LoidKind::Host, 1);
+        let mut table = ReservationTable::new(
+            host,
+            3,
+            TableCapacity { cpu_centis: 100, memory_mb: 100 },
+        );
+        let mut per_slot = std::collections::BTreeMap::new();
+        for &s in &slots {
+            let req = ReservationRequest::instantaneous(
+                Loid::synthetic(LoidKind::Class, 1),
+                Loid::synthetic(LoidKind::Vault, 1),
+                SimDuration::from_secs(SLOT),
+            )
+            .with_type(ReservationType::REUSABLE_SPACE)
+            .starting_at(SimTime::from_secs(s * SLOT));
+            let granted = table.make(&req, SimTime::ZERO).is_ok();
+            let count = per_slot.entry(s).or_insert(0u32);
+            if granted {
+                *count += 1;
+            }
+            prop_assert!(*count <= 1, "slot {s} admitted {count} exclusives");
+        }
+        // Every slot admitted exactly one.
+        for (s, c) in per_slot {
+            prop_assert_eq!(c, 1, "slot {} should have exactly one holder", s);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The execution Monitor.
+//!
+//! "After the objects are running, the execution Monitor may request a
+//! recomputation of the schedule, perhaps based on the progress of the
+//! computation and the load on the hosts in the system." (§3) —
+//! steps 12 and 13 of Fig. 3.
+//!
+//! "Using this \[RGE\] mechanism, the Monitor can register an outcall with
+//! the Host Objects; this outcall will be performed when a trigger's
+//! guard evaluates to true. There is no explicitly-defined interface for
+//! this functionality ... In our actual implementation, we have no
+//! separate monitor objects; the Enactor or Scheduler perform the
+//! monitoring, with the outcall registered appropriately." (§3.5)
+//!
+//! Accordingly [`Monitor`] is an embeddable component, not a required
+//! standalone object: it registers trigger outcalls, queues the events
+//! they raise, and the [`Rebalancer`] — a monitoring Scheduler in the
+//! paper's sense — reacts by migrating objects off overloaded hosts
+//! using the OPR shutdown/move/reactivate sequence of §2.1.
+
+pub mod migrate;
+pub mod monitor;
+pub mod rebalance;
+
+pub use migrate::{migrate_object, MigrationRecord};
+pub use monitor::Monitor;
+pub use rebalance::Rebalancer;

@@ -1,0 +1,115 @@
+//! Object migration via the OPR sequence.
+//!
+//! "All Legion objects automatically support shutdown and restart, and
+//! therefore any active object can be migrated by shutting it down,
+//! moving the passive state to a new Vault if necessary, and activating
+//! the object on another host." (§2.1)
+
+use legion_core::{LegionError, Loid, PlacementContext, SimTime, VaultDirectory};
+use legion_fabric::{Fabric, MetricsLedger};
+use std::sync::Arc;
+
+/// A completed migration, for experiment bookkeeping.
+#[derive(Debug, Clone)]
+pub struct MigrationRecord {
+    /// The migrated object.
+    pub object: Loid,
+    /// Source host.
+    pub from: Loid,
+    /// Destination host.
+    pub to: Loid,
+    /// Vault holding the OPR at reactivation.
+    pub via_vault: Loid,
+    /// When the migration completed.
+    pub completed_at: SimTime,
+    /// Bytes of passive state moved.
+    pub opr_bytes: usize,
+}
+
+/// Migrates `object` from `from` to `to`.
+///
+/// The sequence is exactly the paper's: (1) deactivate on the source —
+/// the host serializes the object into its vault as an OPR; (2) if the
+/// destination cannot reach that vault, move the OPR to a vault it can
+/// reach; (3) reactivate on the destination; (4) tell the Class, the
+/// final authority on its instances' placement, about the new location.
+///
+/// On reactivation failure the OPR is restored to the source host so the
+/// object is never lost.
+pub fn migrate_object(
+    fabric: &Arc<Fabric>,
+    object: Loid,
+    from: Loid,
+    to: Loid,
+) -> Result<MigrationRecord, LegionError> {
+    let src = fabric.lookup_host(from).ok_or(LegionError::NoSuchHost(from))?;
+    let dst = fabric.lookup_host(to).ok_or(LegionError::NoSuchHost(to))?;
+    let now = fabric.clock().now();
+
+    // (1) Shut down: passive state lands in the source host's vault.
+    fabric.link(from, to)?;
+    let opr = src.deactivate_object(object, now)?;
+
+    // (2) Move the OPR if the destination cannot reach its current
+    // vault. The OPR is wherever the source host stored it — find it.
+    let holding_vault = fabric
+        .vault_loids()
+        .into_iter()
+        .find(|&v| {
+            fabric.lookup_vault(v).is_some_and(|vault| vault.holds(object))
+        })
+        .ok_or(LegionError::NoSuchOpr(object))?;
+
+    let dst_vaults = dst.get_compatible_vaults();
+    let via_vault = if dst_vaults.contains(&holding_vault) {
+        holding_vault
+    } else {
+        let target_vault_loid = *dst_vaults
+            .first()
+            .ok_or(LegionError::NoSuchVault(to))?;
+        let src_vault = fabric
+            .lookup_vault(holding_vault)
+            .ok_or(LegionError::NoSuchVault(holding_vault))?;
+        let dst_vault = fabric
+            .lookup_vault(target_vault_loid)
+            .ok_or(LegionError::NoSuchVault(target_vault_loid))?;
+        fabric.link(holding_vault, target_vault_loid)?;
+        dst_vault.store_opr(src_vault.fetch_opr(object)?)?;
+        src_vault.delete_opr(object)?;
+        target_vault_loid
+    };
+
+    // (3) Reactivate on the destination.
+    let now = fabric.clock().now();
+    if let Err(e) = dst.reactivate_object(&opr, now) {
+        // Roll back: bring the object home so it is never lost.
+        if via_vault != holding_vault {
+            // Move the OPR back within the source's reach first.
+            if let (Some(sv), Some(dv)) =
+                (fabric.lookup_vault(holding_vault), fabric.lookup_vault(via_vault))
+            {
+                if let Ok(o) = dv.fetch_opr(object) {
+                    let _ = sv.store_opr(o);
+                    let _ = dv.delete_opr(object);
+                }
+            }
+        }
+        let _ = src.reactivate_object(&opr, now);
+        return Err(e);
+    }
+
+    // (4) The Class is the final authority on placement — tell it.
+    if let Some(class) = fabric.lookup_class(opr.class) {
+        class.note_instance_location(object, to);
+    }
+
+    MetricsLedger::bump(&fabric.metrics().migrations);
+    Ok(MigrationRecord {
+        object,
+        from,
+        to,
+        via_vault,
+        completed_at: fabric.clock().now(),
+        opr_bytes: opr.size_bytes(),
+    })
+}

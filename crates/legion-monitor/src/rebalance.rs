@@ -1,0 +1,113 @@
+//! Trigger-driven rescheduling — the Monitor closing the loop.
+//!
+//! "If, during execution, a resource decides that the object needs to be
+//! migrated, it performs an outcall to a Monitor, which notifies the
+//! Scheduler and Enactor that rescheduling should be performed
+//! (optional steps 12 and 13)." (§3)
+//!
+//! [`Rebalancer`] is the simplest useful such Scheduler: on a
+//! load-threshold event it migrates one object off the overloaded host
+//! onto the least-loaded host that can take it.
+
+use crate::migrate::{migrate_object, MigrationRecord};
+use crate::monitor::Monitor;
+use legion_core::host::well_known;
+use legion_core::{EventKind, Loid, PlacementContext};
+use legion_fabric::Fabric;
+use std::sync::Arc;
+
+/// Reacts to monitor events by migrating load away.
+pub struct Rebalancer {
+    fabric: Arc<Fabric>,
+    monitor: Monitor,
+    /// Do not migrate onto hosts above this load.
+    pub target_load_ceiling: f64,
+}
+
+impl Rebalancer {
+    /// A rebalancer owning its monitor.
+    pub fn new(fabric: Arc<Fabric>) -> Self {
+        Rebalancer { fabric, monitor: Monitor::new(), target_load_ceiling: 0.75 }
+    }
+
+    /// The embedded monitor (to register watches).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Watches every currently registered host at `threshold` load.
+    pub fn watch_all(&self, threshold: f64) {
+        for hl in self.fabric.host_loids() {
+            if let Some(host) = self.fabric.lookup_host(hl) {
+                self.monitor.watch_load(&host, threshold);
+            }
+        }
+    }
+
+    /// Drains events and performs migrations. Returns the migrations
+    /// that completed this round.
+    ///
+    /// Two event kinds are handled: a `LoadThresholdExceeded` moves one
+    /// object off the overloaded host per round (gentle rebalancing),
+    /// while a `HostShutdown` drains *every* resident object — the host
+    /// is going away.
+    pub fn rebalance_once(&self) -> Vec<MigrationRecord> {
+        let mut done = Vec::new();
+        for event in self.monitor.drain_events() {
+            let source = event.source;
+            match event.kind {
+                EventKind::LoadThresholdExceeded => {
+                    let Some(src) = self.fabric.lookup_host(source) else { continue };
+                    // Pick a victim: any running object (the first is
+                    // fine for the default policy).
+                    let Some(victim) = src.running_objects().into_iter().next() else {
+                        continue;
+                    };
+                    let Some(target) = self.pick_target(source) else { continue };
+                    if let Ok(rec) = migrate_object(&self.fabric, victim, source, target) {
+                        done.push(rec);
+                    }
+                }
+                EventKind::HostShutdown => {
+                    let Some(src) = self.fabric.lookup_host(source) else { continue };
+                    for victim in src.running_objects() {
+                        let Some(target) = self.pick_target(source) else { break };
+                        if let Ok(rec) = migrate_object(&self.fabric, victim, source, target)
+                        {
+                            done.push(rec);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        done
+    }
+
+    fn pick_target(&self, exclude: Loid) -> Option<Loid> {
+        let mut best: Option<(f64, Loid)> = None;
+        for hl in self.fabric.host_loids() {
+            if hl == exclude {
+                continue;
+            }
+            let Some(h) = self.fabric.lookup_host(hl) else { continue };
+            if h.get_compatible_vaults().is_empty() {
+                continue;
+            }
+            let attrs = h.attributes();
+            // Never migrate onto a host that is itself draining.
+            if attrs.get_bool("host_draining").unwrap_or(false) {
+                continue;
+            }
+            let load = attrs.get_f64(well_known::LOAD).unwrap_or(f64::MAX);
+            if load > self.target_load_ceiling {
+                continue;
+            }
+            match best {
+                Some((b, _)) if b <= load => {}
+                _ => best = Some((load, hl)),
+            }
+        }
+        best.map(|(_, h)| h)
+    }
+}

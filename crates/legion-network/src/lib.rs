@@ -1,0 +1,26 @@
+//! Network Objects — communication resources under Legion reservations.
+//!
+//! "We are developing Network Objects to manage communications
+//! resources." (§6) The paper never describes them further, so this
+//! crate realizes the obvious design implied by the rest of the RMI:
+//! a [`NetworkObject`] is the *guardian of a domain-pair link* exactly
+//! as a Host object is the guardian of a machine — it grants
+//! non-forgeable bandwidth reservations with the same Table 2 semantics
+//! (a `share = 0` reservation dedicates the whole link; `share = 1`
+//! reservations multiplex it; `reuse` controls one-shot vs reusable
+//! confirmation), backed by the same host-side
+//! [`ReservationTable`](legion_hosts::ReservationTable) machinery.
+//!
+//! The [`NetworkBroker`] is the Enactor-side counterpart: given the
+//! communication edges of an application placement, it computes
+//! per-link bandwidth demand and co-allocates all the needed link
+//! reservations all-or-nothing, rolling back on any refusal — the same
+//! discipline the Enactor applies to Hosts.
+
+pub mod broker;
+pub mod directory;
+pub mod netobj;
+
+pub use broker::{grid_edges, LinkDemand, NetworkBroker, NetworkPlan};
+pub use directory::NetworkDirectory;
+pub use netobj::NetworkObject;

@@ -1,0 +1,82 @@
+//! Abstract syntax tree for parsed patterns.
+
+/// A single item a character class can contain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single literal character, e.g. `a` in `[abc]`.
+    Char(char),
+    /// An inclusive character range, e.g. `a-z`.
+    Range(char, char),
+    /// A perl-style shorthand (`\d`, `\w`, `\s`) embedded in the class.
+    Perl(PerlClass),
+}
+
+/// Perl-style shorthand classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerlClass {
+    /// `\d` — ASCII digits.
+    Digit,
+    /// `\D` — anything but ASCII digits.
+    NotDigit,
+    /// `\w` — word characters: alphanumerics plus `_`.
+    Word,
+    /// `\W` — non-word characters.
+    NotWord,
+    /// `\s` — ASCII whitespace.
+    Space,
+    /// `\S` — non-whitespace.
+    NotSpace,
+}
+
+impl PerlClass {
+    /// Tests whether `c` belongs to the shorthand class.
+    pub fn matches(self, c: char) -> bool {
+        match self {
+            PerlClass::Digit => c.is_ascii_digit(),
+            PerlClass::NotDigit => !c.is_ascii_digit(),
+            PerlClass::Word => c.is_alphanumeric() || c == '_',
+            PerlClass::NotWord => !(c.is_alphanumeric() || c == '_'),
+            PerlClass::Space => c.is_whitespace(),
+            PerlClass::NotSpace => !c.is_whitespace(),
+        }
+    }
+}
+
+/// A parsed pattern node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// `.` — any single character.
+    AnyChar,
+    /// A (possibly negated) character class.
+    Class {
+        /// True for `[^...]`.
+        negated: bool,
+        /// The class contents.
+        items: Vec<ClassItem>,
+    },
+    /// A bare perl shorthand outside a class (`\d` etc.).
+    Perl(PerlClass),
+    /// `^` — start-of-text anchor.
+    StartAnchor,
+    /// `$` — end-of-text anchor.
+    EndAnchor,
+    /// Concatenation of subexpressions.
+    Concat(Vec<Ast>),
+    /// Alternation (`|`) of subexpressions.
+    Alternate(Vec<Ast>),
+    /// Repetition of a subexpression.
+    Repeat {
+        /// The repeated node.
+        node: Box<Ast>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions; `None` means unbounded.
+        max: Option<u32>,
+    },
+    /// A parenthesized group (grouping only; no capture semantics).
+    Group(Box<Ast>),
+}

@@ -1,0 +1,245 @@
+//! AST → NFA program compiler.
+//!
+//! The program is a flat instruction list in the style of Thompson's
+//! construction as used by Pike VMs: `Split` and `Jmp` wire up the control
+//! flow, consuming instructions test one input character, and `Match`
+//! terminates a successful thread.
+
+use crate::ast::{Ast, ClassItem, PerlClass};
+
+/// One NFA instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// Consume one character equal to the payload.
+    Char(char),
+    /// Consume any one character.
+    Any,
+    /// Consume one character accepted by the class.
+    Class {
+        /// True for `[^...]`.
+        negated: bool,
+        /// Class membership items.
+        items: Vec<ClassItem>,
+    },
+    /// Consume one character accepted by a perl shorthand.
+    Perl(PerlClass),
+    /// Succeed only at the start of the text (consumes nothing).
+    StartAnchor,
+    /// Succeed only at the end of the text (consumes nothing).
+    EndAnchor,
+    /// Continue at both targets (preference order: first then second).
+    Split(usize, usize),
+    /// Continue at the target.
+    Jmp(usize),
+    /// The whole pattern matched.
+    Match,
+}
+
+impl Inst {
+    /// Whether this instruction accepts input character `c`.
+    pub fn accepts(&self, c: char) -> bool {
+        match self {
+            Inst::Char(want) => *want == c,
+            Inst::Any => true,
+            Inst::Perl(p) => p.matches(c),
+            Inst::Class { negated, items } => {
+                let mut hit = false;
+                for item in items {
+                    let ok = match item {
+                        ClassItem::Char(x) => *x == c,
+                        ClassItem::Range(lo, hi) => (*lo..=*hi).contains(&c),
+                        ClassItem::Perl(p) => p.matches(c),
+                    };
+                    if ok {
+                        hit = true;
+                        break;
+                    }
+                }
+                hit != *negated
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A compiled NFA program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Flat instruction list; entry point is index 0.
+    pub insts: Vec<Inst>,
+}
+
+/// Compiles a parsed AST into an NFA program ending in [`Inst::Match`].
+pub fn compile(ast: &Ast) -> Program {
+    let mut c = Compiler { insts: Vec::new() };
+    c.emit_ast(ast);
+    c.insts.push(Inst::Match);
+    Program { insts: c.insts }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+}
+
+impl Compiler {
+    fn next(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn emit(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    fn emit_ast(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Literal(c) => {
+                self.emit(Inst::Char(*c));
+            }
+            Ast::AnyChar => {
+                self.emit(Inst::Any);
+            }
+            Ast::Perl(p) => {
+                self.emit(Inst::Perl(*p));
+            }
+            Ast::Class { negated, items } => {
+                self.emit(Inst::Class { negated: *negated, items: items.clone() });
+            }
+            Ast::StartAnchor => {
+                self.emit(Inst::StartAnchor);
+            }
+            Ast::EndAnchor => {
+                self.emit(Inst::EndAnchor);
+            }
+            Ast::Group(inner) => self.emit_ast(inner),
+            Ast::Concat(items) => {
+                for item in items {
+                    self.emit_ast(item);
+                }
+            }
+            Ast::Alternate(branches) => self.emit_alternate(branches),
+            Ast::Repeat { node, min, max } => self.emit_repeat(node, *min, *max),
+        }
+    }
+
+    fn emit_alternate(&mut self, branches: &[Ast]) {
+        debug_assert!(!branches.is_empty());
+        if branches.len() == 1 {
+            self.emit_ast(&branches[0]);
+            return;
+        }
+        // For branches b1..bn emit:
+        //   split L1, Lnext ; L1: b1 ; jmp END ; Lnext: ...
+        let mut jmp_ends = Vec::with_capacity(branches.len() - 1);
+        let mut pending_split: Option<usize> = None;
+        for (i, branch) in branches.iter().enumerate() {
+            let last = i + 1 == branches.len();
+            if let Some(split) = pending_split.take() {
+                let here = self.next();
+                if let Inst::Split(_, ref mut second) = self.insts[split] {
+                    *second = here;
+                }
+            }
+            if !last {
+                let split = self.emit(Inst::Split(0, 0));
+                let body = self.next();
+                if let Inst::Split(ref mut first, _) = self.insts[split] {
+                    *first = body;
+                }
+                pending_split = Some(split);
+                self.emit_ast(branch);
+                jmp_ends.push(self.emit(Inst::Jmp(0)));
+            } else {
+                self.emit_ast(branch);
+            }
+        }
+        let end = self.next();
+        for j in jmp_ends {
+            if let Inst::Jmp(ref mut t) = self.insts[j] {
+                *t = end;
+            }
+        }
+    }
+
+    fn emit_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) {
+        // Mandatory prefix: `min` copies.
+        for _ in 0..min {
+            self.emit_ast(node);
+        }
+        match max {
+            None => {
+                if min == 0 {
+                    // `e*`:  L: split B, END ; B: e ; jmp L ; END:
+                    let l = self.emit(Inst::Split(0, 0));
+                    let body = self.next();
+                    self.emit_ast(node);
+                    self.emit(Inst::Jmp(l));
+                    let end = self.next();
+                    if let Inst::Split(ref mut a, ref mut b) = self.insts[l] {
+                        *a = body;
+                        *b = end;
+                    }
+                } else {
+                    // `e{min,}`: the last mandatory copy loops:
+                    //   split BACK, END — emitted as e ; split RESTART, END
+                    // Simpler: emit one `e*` after the prefix.
+                    self.emit_repeat(node, 0, None);
+                }
+            }
+            Some(max) => {
+                // Optional suffix: (max - min) copies of `e?`.
+                let optional = max.saturating_sub(min);
+                let mut splits = Vec::with_capacity(optional as usize);
+                for _ in 0..optional {
+                    let s = self.emit(Inst::Split(0, 0));
+                    let body = self.next();
+                    if let Inst::Split(ref mut a, _) = self.insts[s] {
+                        *a = body;
+                    }
+                    splits.push(s);
+                    self.emit_ast(node);
+                }
+                let end = self.next();
+                for s in splits {
+                    if let Inst::Split(_, ref mut b) = self.insts[s] {
+                        *b = end;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn compiles_literal_chain() {
+        let p = compile(&parse("abc").unwrap());
+        assert_eq!(
+            p.insts,
+            vec![Inst::Char('a'), Inst::Char('b'), Inst::Char('c'), Inst::Match]
+        );
+    }
+
+    #[test]
+    fn star_forms_a_loop() {
+        let p = compile(&parse("a*").unwrap());
+        // split 1,3 ; char a ; jmp 0 ; match
+        assert_eq!(p.insts.len(), 4);
+        assert!(matches!(p.insts[0], Inst::Split(1, 3)));
+        assert!(matches!(p.insts[2], Inst::Jmp(0)));
+    }
+
+    #[test]
+    fn bounded_repeat_expands() {
+        let p = compile(&parse("a{2,4}").unwrap());
+        let chars = p.insts.iter().filter(|i| matches!(i, Inst::Char('a'))).count();
+        assert_eq!(chars, 4);
+        let splits = p.insts.iter().filter(|i| matches!(i, Inst::Split(_, _))).count();
+        assert_eq!(splits, 2);
+    }
+}

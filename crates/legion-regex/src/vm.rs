@@ -1,0 +1,169 @@
+//! Pike-style NFA virtual machine.
+//!
+//! Runs a compiled [`Program`] over the input in a single left-to-right
+//! pass, maintaining the set of live NFA threads. Time is
+//! `O(insts * chars)`; there is no backtracking.
+
+use crate::compile::{Inst, Program};
+
+/// A thread list for one step of the simulation, with O(1) dedup.
+struct ThreadList {
+    /// Program counters of live threads, in priority order.
+    threads: Vec<Thread>,
+    /// `seen[pc] == gen` marks pc as already present this step.
+    seen: Vec<u64>,
+    gen: u64,
+}
+
+#[derive(Copy, Clone)]
+struct Thread {
+    pc: usize,
+    /// Char index where this thread's match attempt began.
+    start: usize,
+}
+
+impl ThreadList {
+    fn new(n: usize) -> Self {
+        ThreadList { threads: Vec::with_capacity(n), seen: vec![0; n], gen: 0 }
+    }
+
+    fn clear(&mut self) {
+        self.threads.clear();
+        self.gen += 1;
+    }
+
+    /// Adds `pc`, following epsilon transitions.
+    ///
+    /// If a `Match` instruction is reached during closure, records the
+    /// thread's start position in `matched` (first writer wins, which is
+    /// the highest-priority thread because threads are added in priority
+    /// order). Exploration continues so sibling branches are not lost.
+    fn add(
+        &mut self,
+        prog: &Program,
+        pc: usize,
+        start: usize,
+        pos: usize,
+        len: usize,
+        matched: &mut Option<usize>,
+    ) {
+        if self.seen[pc] == self.gen {
+            return;
+        }
+        self.seen[pc] = self.gen;
+        match prog.insts[pc] {
+            Inst::Jmp(t) => self.add(prog, t, start, pos, len, matched),
+            Inst::Split(a, b) => {
+                self.add(prog, a, start, pos, len, matched);
+                self.add(prog, b, start, pos, len, matched);
+            }
+            Inst::StartAnchor => {
+                if pos == 0 {
+                    self.add(prog, pc + 1, start, pos, len, matched);
+                }
+            }
+            Inst::EndAnchor => {
+                if pos == len {
+                    self.add(prog, pc + 1, start, pos, len, matched);
+                }
+            }
+            Inst::Match => {
+                if matched.is_none() {
+                    *matched = Some(start);
+                }
+            }
+            _ => {
+                self.threads.push(Thread { pc, start });
+            }
+        }
+    }
+}
+
+/// Unanchored leftmost search. Returns the byte range of the match.
+pub fn search(prog: &Program, text: &str) -> Option<(usize, usize)> {
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let len = chars.len();
+    let byte_at = |char_pos: usize| -> usize {
+        if char_pos == len {
+            text.len()
+        } else {
+            chars[char_pos].0
+        }
+    };
+
+    let n = prog.insts.len();
+    let mut clist = ThreadList::new(n);
+    let mut nlist = ThreadList::new(n);
+    clist.clear();
+
+    // Inject the initial thread; a Match during injection means the empty
+    // pattern (or pure-anchor pattern) matches at position 0.
+    let mut matched = None;
+    clist.add(prog, 0, 0, 0, len, &mut matched);
+    if let Some(start) = matched {
+        return Some((byte_at(start), byte_at(0)));
+    }
+
+    #[allow(clippy::needless_range_loop)] // pos is a position, not just an index
+    for pos in 0..len {
+        let c = chars[pos].1;
+        nlist.clear();
+        let mut matched = None;
+        for i in 0..clist.threads.len() {
+            let th = clist.threads[i];
+            if prog.insts[th.pc].accepts(c) {
+                nlist.add(prog, th.pc + 1, th.start, pos + 1, len, &mut matched);
+            }
+            if matched.is_some() {
+                break; // highest-priority (leftmost) match; earliest end
+            }
+        }
+        if let Some(start) = matched {
+            return Some((byte_at(start), byte_at(pos + 1)));
+        }
+        std::mem::swap(&mut clist, &mut nlist);
+        // Unanchored: also try starting a fresh attempt at pos+1, at lower
+        // priority than already-running threads (leftmost wins).
+        let mut matched = None;
+        clist.add(prog, 0, pos + 1, pos + 1, len, &mut matched);
+        if let Some(start) = matched {
+            return Some((byte_at(start), byte_at(pos + 1)));
+        }
+    }
+    None
+}
+
+/// Anchored full match: the program must consume the entire text.
+pub fn search_anchored_full(prog: &Program, text: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    let len = chars.len();
+    let n = prog.insts.len();
+    let mut clist = ThreadList::new(n);
+    let mut nlist = ThreadList::new(n);
+    clist.clear();
+
+    let mut matched = None;
+    clist.add(prog, 0, 0, 0, len, &mut matched);
+    if len == 0 {
+        return matched.is_some();
+    }
+
+    for (pos, &c) in chars.iter().enumerate() {
+        nlist.clear();
+        let mut matched = None;
+        for i in 0..clist.threads.len() {
+            let th = clist.threads[i];
+            if prog.insts[th.pc].accepts(c) {
+                nlist.add(prog, th.pc + 1, th.start, pos + 1, len, &mut matched);
+            }
+        }
+        if pos + 1 == len {
+            return matched.is_some();
+        }
+        std::mem::swap(&mut clist, &mut nlist);
+        if clist.threads.is_empty() {
+            return false;
+        }
+    }
+    false
+}

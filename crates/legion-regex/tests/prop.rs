@@ -1,0 +1,82 @@
+//! Property-based tests for the regex engine.
+
+use legion_regex::Regex;
+use proptest::prelude::*;
+
+/// Escapes every metacharacter so `s` is matched literally.
+fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 2);
+    for c in s.chars() {
+        if "\\.^$*+?()[]{}|".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+proptest! {
+    /// A literal pattern matches exactly the strings that contain it.
+    #[test]
+    fn literal_matches_substring(hay in "[a-zA-Z0-9 .*+?()\\[\\]{}|^$\\\\-]{0,40}",
+                                 needle in "[a-zA-Z0-9 .*+?-]{0,8}") {
+        let re = Regex::new(&escape_literal(&needle)).unwrap();
+        prop_assert_eq!(re.is_match(&hay), hay.contains(&needle));
+    }
+
+    /// `^lit$` is string equality for literals.
+    #[test]
+    fn anchored_literal_is_equality(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+        let re = Regex::new(&format!("^{}$", escape_literal(&a))).unwrap();
+        prop_assert_eq!(re.is_match(&b), a == b);
+    }
+
+    /// `is_full_match` agrees with an explicitly anchored pattern.
+    #[test]
+    fn full_match_agrees_with_anchors(pat in "[a-c]{1,4}", text in "[a-c]{0,6}") {
+        let plain = Regex::new(&pat).unwrap();
+        let anchored = Regex::new(&format!("^({})$", pat)).unwrap();
+        prop_assert_eq!(plain.is_full_match(&text), anchored.is_match(&text));
+    }
+
+    /// Compiling arbitrary garbage either errors cleanly or produces a
+    /// regex whose matcher never panics.
+    #[test]
+    fn never_panics(pat in "\\PC{0,20}", text in "\\PC{0,40}") {
+        if let Ok(re) = Regex::new(&pat) {
+            let _ = re.is_match(&text);
+            let _ = re.find(&text);
+            let _ = re.is_full_match(&text);
+        }
+    }
+
+    /// `find` returns a range where the needle actually occurs (literals).
+    #[test]
+    fn find_range_is_correct(hay in "[a-d]{0,30}", needle in "[a-d]{1,4}") {
+        let re = Regex::new(&escape_literal(&needle)).unwrap();
+        match re.find(&hay) {
+            Some((s, e)) => {
+                prop_assert_eq!(&hay[s..e], needle.as_str());
+                // Leftmost: no earlier occurrence.
+                prop_assert_eq!(hay.find(&needle), Some(s));
+            }
+            None => prop_assert!(!hay.contains(&needle)),
+        }
+    }
+
+    /// Kleene star on a class matches exactly strings over that class.
+    #[test]
+    fn star_class_language(text in "[a-f]{0,20}") {
+        let re = Regex::new("^[a-c]*$").unwrap();
+        let expect = text.chars().all(|c| ('a'..='c').contains(&c));
+        prop_assert_eq!(re.is_match(&text), expect);
+    }
+
+    /// Bounded repetition counts characters exactly.
+    #[test]
+    fn bounded_repeat_counts(n in 0usize..12) {
+        let re = Regex::new("^a{3,5}$").unwrap();
+        let text = "a".repeat(n);
+        prop_assert_eq!(re.is_match(&text), (3..=5).contains(&n));
+    }
+}

@@ -1,0 +1,129 @@
+//! A compact bit set.
+//!
+//! "Our data structure includes a bitmap field (one bit per object
+//! mapping) for each variant schedule which allows the Enactor to
+//! efficiently select the next variant schedule to try." (§3.4)
+
+/// A fixed-length bit set, one bit per master-schedule mapping.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitMap {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitMap {
+    /// An all-zeros bitmap of `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitMap { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over set-bit indices in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Whether any set bit is shared with `other`.
+    pub fn intersects(&self, other: &BitMap) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Builds a bitmap of `len` bits with the given indices set.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut b = BitMap::new(len);
+        for &i in indices {
+            b.set(i);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitMap::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(63) && !b.get(128));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn iter_ones_ascending_across_words() {
+        let b = BitMap::from_indices(130, &[129, 0, 64, 7]);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 7, 64, 129]);
+    }
+
+    #[test]
+    fn intersects() {
+        let a = BitMap::from_indices(10, &[1, 3]);
+        let b = BitMap::from_indices(10, &[3, 5]);
+        let c = BitMap::from_indices(10, &[0, 2]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        BitMap::new(8).get(8);
+    }
+
+    #[test]
+    fn empty() {
+        let b = BitMap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! The Enactor (Fig. 6) — the schedule implementor.
+//!
+//! ```text
+//! &LegionScheduleFeedback make_reservations(&LegionScheduleList);
+//! int cancel_reservations(&LegionScheduleRequestList);
+//! &LegionScheduleRequestList enact_schedule(&LegionScheduleRequestList);
+//! ```
+//!
+//! "the Enactor negotiates with the resources objects named in the
+//! schedule to instantiate the objects. Note that this may require the
+//! Enactor to negotiate with several resources from different
+//! administrative domains to perform co-allocation." (§3)
+//!
+//! Variant walking implements the paper's thrash avoidance:
+//! "Implementing the variant schedule entails making new reservations
+//! for items in the variant schedule and canceling any corresponding
+//! reservations from the master schedule. Our default Schedulers and
+//! Enactor work together to structure the variant schedules so as to
+//! avoid reservation thrashing (the canceling and subsequent remaking of
+//! the same reservation). Our data structure includes a bitmap field
+//! ... which allows the Enactor to efficiently select the next variant
+//! schedule to try." (§3.4)
+//!
+//! Concretely: reservations for positions whose mapping a variant leaves
+//! unchanged are **kept**, not cancelled and remade; the next variant is
+//! chosen by bitmap so that it covers the positions that actually
+//! failed. The `reservation_thrash` metric counts any remake of a
+//! (position, mapping) pair previously cancelled — the quantity
+//! experiment E-F5 reports with the bitmap walk enabled vs disabled.
+
+use crate::schedule::{
+    FailureClass, Mapping, ScheduleFeedback, ScheduleOutcome, ScheduleRequest,
+    ScheduleRequestList,
+};
+use legion_core::{
+    LegionError, Loid, LoidKind, Placement, PlacementContext, ReservationRequest,
+    ReservationToken, ReservationType, SimDuration,
+};
+use legion_fabric::{Fabric, MetricsLedger};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Enactor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EnactorConfig {
+    /// Reservation duration requested per mapping.
+    pub duration: SimDuration,
+    /// Reservation type requested.
+    pub rtype: ReservationType,
+    /// Confirmation timeout for instantaneous reservations.
+    pub timeout: SimDuration,
+    /// Upper bound on schedules tried per request entry (master counts
+    /// as one; each variant as one more).
+    pub max_attempts: usize,
+    /// Disable the bitmap-guided delta walk (ablation for E-F5): when
+    /// false, every variant attempt cancels **all** held reservations
+    /// and remakes the full schedule — the naive strategy.
+    pub bitmap_walk: bool,
+    /// All-or-nothing enactment: on instantiation failure, destroy the
+    /// already-started objects and cancel unused reservations.
+    pub atomic_enact: bool,
+    /// Domain presented to host autonomy policies.
+    pub requester_domain: Option<String>,
+}
+
+impl Default for EnactorConfig {
+    fn default() -> Self {
+        EnactorConfig {
+            duration: SimDuration::from_secs(3600),
+            rtype: ReservationType::ONE_SHOT_TIME,
+            timeout: SimDuration::from_secs(30),
+            max_attempts: 32,
+            bitmap_walk: true,
+            atomic_enact: true,
+            requester_domain: None,
+        }
+    }
+}
+
+/// The Enactor service object.
+pub struct Enactor {
+    loid: Loid,
+    fabric: Arc<Fabric>,
+    config: EnactorConfig,
+}
+
+impl Enactor {
+    /// An Enactor with default configuration.
+    pub fn new(fabric: Arc<Fabric>) -> Self {
+        Self::with_config(fabric, EnactorConfig::default())
+    }
+
+    /// An Enactor with explicit configuration.
+    pub fn with_config(fabric: Arc<Fabric>, config: EnactorConfig) -> Self {
+        Enactor { loid: Loid::fresh(LoidKind::Service), fabric, config }
+    }
+
+    /// This Enactor's identifier.
+    pub fn loid(&self) -> Loid {
+        self.loid
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EnactorConfig {
+        &self.config
+    }
+
+    fn metrics(&self) -> &MetricsLedger {
+        self.fabric.metrics()
+    }
+
+    /// Builds the reservation request for one mapping, reading demand
+    /// from the class's report.
+    fn request_for(&self, m: &Mapping) -> ReservationRequest {
+        let (cpu, mem) = self
+            .fabric
+            .lookup_class(m.class)
+            .map(|c| {
+                let r = c.report();
+                (r.cpu_centis, r.memory_mb)
+            })
+            .unwrap_or((100, 64));
+        let mut req = ReservationRequest {
+            class: m.class,
+            vault: m.vault,
+            rtype: self.config.rtype,
+            start: None,
+            duration: self.config.duration,
+            timeout: Some(self.config.timeout),
+            cpu_centis: cpu,
+            memory_mb: mem,
+            requester_domain: self.config.requester_domain.clone(),
+        };
+        if req.requester_domain.is_none() {
+            // Default to the Enactor's own domain.
+            let dom = self.fabric.domain_of(self.loid);
+            req.requester_domain = self.fabric.topology(|t| {
+                t.domains().get(dom.0 as usize).map(|d| d.name.clone())
+            });
+        }
+        req
+    }
+
+    /// One reservation attempt against the host named by `m`.
+    fn reserve_one(&self, m: &Mapping) -> Result<ReservationToken, LegionError> {
+        self.fabric.link(self.loid, m.host)?;
+        let host = self.fabric.lookup_host(m.host).ok_or(LegionError::NoSuchHost(m.host))?;
+        let now = self.fabric.clock().now();
+        host.make_reservation(&self.request_for(m), now)
+    }
+
+    /// Cancels one held token (best effort; the host may be gone).
+    fn cancel_one(&self, token: &ReservationToken) {
+        if self.fabric.link(self.loid, token.host).is_ok() {
+            if let Some(host) = self.fabric.lookup_host(token.host) {
+                let _ = host.cancel_reservation(token);
+            }
+        }
+    }
+
+    /// `make_reservations` (Fig. 6): walk the request list, trying each
+    /// master and its variants until one schedule fully reserves.
+    pub fn make_reservations(&self, request: &ScheduleRequestList) -> ScheduleFeedback {
+        if let Err(LegionError::MalformedSchedule(why)) = request.validate() {
+            return ScheduleFeedback {
+                request: request.clone(),
+                outcome: ScheduleOutcome::Failed(FailureClass::Malformed(why)),
+                reservations: Vec::new(),
+                mappings: Vec::new(),
+            };
+        }
+
+        for (si, sched) in request.schedules.iter().enumerate() {
+            match self.reserve_schedule(sched) {
+                Some((variant, mappings, tokens)) => {
+                    MetricsLedger::bump(&self.metrics().schedules_reserved);
+                    return ScheduleFeedback {
+                        request: request.clone(),
+                        outcome: ScheduleOutcome::Reserved { schedule: si, variant },
+                        reservations: tokens,
+                        mappings,
+                    };
+                }
+                None => continue,
+            }
+        }
+
+        ScheduleFeedback {
+            request: request.clone(),
+            outcome: ScheduleOutcome::Failed(FailureClass::ResourceUnavailable),
+            reservations: Vec::new(),
+            mappings: Vec::new(),
+        }
+    }
+
+    /// Tries a master and its variants; on success returns the variant
+    /// index used, the effective mappings and their tokens.
+    fn reserve_schedule(
+        &self,
+        sched: &ScheduleRequest,
+    ) -> Option<(Option<usize>, Vec<Mapping>, Vec<ReservationToken>)> {
+        let n = sched.master.len();
+        let mut current: Vec<Mapping> = sched.master.mappings.clone();
+        let mut held: Vec<Option<ReservationToken>> = vec![None; n];
+        // (position, mapping) pairs previously cancelled — for thrash
+        // accounting.
+        let mut cancelled_before: HashSet<(usize, Mapping)> = HashSet::new();
+        let mut tried_variants: Vec<bool> = vec![false; sched.variants.len()];
+        let mut attempts = 0usize;
+        // `None` = the pure master; `Some(vi)` = variant vi.
+        let mut plan: Option<usize> = None;
+
+        loop {
+            attempts += 1;
+            MetricsLedger::bump(&self.metrics().schedules_attempted);
+
+            // Fill every position lacking a token under the current
+            // mapping; remember which positions fail.
+            let mut failed: Vec<usize> = Vec::new();
+            for i in 0..n {
+                if held[i].is_some() {
+                    continue;
+                }
+                if cancelled_before.contains(&(i, current[i].clone())) {
+                    MetricsLedger::bump(&self.metrics().reservation_thrash);
+                }
+                match self.reserve_one(&current[i]) {
+                    Ok(tok) => held[i] = Some(tok),
+                    Err(e) if e.is_retryable() => failed.push(i),
+                    Err(_) => failed.push(i),
+                }
+            }
+
+            if failed.is_empty() {
+                let tokens = held.into_iter().map(|t| t.expect("all positions held")).collect();
+                return Some((plan, current, tokens));
+            }
+
+            if attempts >= self.config.max_attempts {
+                break;
+            }
+
+            // Select the next variant: prefer one covering *all* failed
+            // positions, then one covering any, then any untried.
+            let next = self.pick_variant(sched, &tried_variants, &failed);
+            let Some(vi) = next else { break };
+            tried_variants[vi] = true;
+            plan = Some(vi);
+
+            let variant = &sched.variants[vi];
+            if self.config.bitmap_walk {
+                // Delta walk: cancel and remap only replaced positions;
+                // failed-but-unreplaced positions keep their (absent)
+                // token slot and are retried with the same mapping.
+                for pos in variant.replaces.iter_ones() {
+                    if let Some(tok) = held[pos].take() {
+                        cancelled_before.insert((pos, current[pos].clone()));
+                        self.cancel_one(&tok);
+                    }
+                    if let Some(m) = variant.replacement_for(pos) {
+                        current[pos] = m.clone();
+                    }
+                }
+            } else {
+                // Naive walk (ablation): drop everything and rebuild the
+                // whole schedule under the variant.
+                for (pos, slot) in held.iter_mut().enumerate() {
+                    if let Some(tok) = slot.take() {
+                        cancelled_before.insert((pos, current[pos].clone()));
+                        self.cancel_one(&tok);
+                    }
+                }
+                current = sched.resolve(Some(vi));
+            }
+        }
+
+        // Back out of any partial holds.
+        for tok in held.into_iter().flatten() {
+            self.cancel_one(&tok);
+        }
+        None
+    }
+
+    /// Bitmap-guided variant selection.
+    fn pick_variant(
+        &self,
+        sched: &ScheduleRequest,
+        tried: &[bool],
+        failed: &[usize],
+    ) -> Option<usize> {
+        let untried = || (0..sched.variants.len()).filter(|&i| !tried[i]);
+        // Covers all failed positions?
+        if let Some(vi) = untried().find(|&i| {
+            failed.iter().all(|&p| {
+                p < sched.variants[i].replaces.len() && sched.variants[i].replaces.get(p)
+            })
+        }) {
+            return Some(vi);
+        }
+        // Covers at least one failed position?
+        if let Some(vi) = untried().find(|&i| {
+            failed.iter().any(|&p| {
+                p < sched.variants[i].replaces.len() && sched.variants[i].replaces.get(p)
+            })
+        }) {
+            return Some(vi);
+        }
+        untried().next()
+    }
+
+    /// `cancel_reservations` (Fig. 6): releases every token in feedback.
+    pub fn cancel_reservations(&self, feedback: &ScheduleFeedback) {
+        for tok in &feedback.reservations {
+            self.cancel_one(tok);
+        }
+    }
+
+    /// `enact_schedule` (Fig. 6): instantiates the objects through their
+    /// Class objects, using the directed-placement `create_instance`
+    /// (§3.4). Returns the instances created, in mapping order.
+    pub fn enact_schedule(
+        &self,
+        feedback: &ScheduleFeedback,
+    ) -> Result<Vec<(Mapping, Loid)>, LegionError> {
+        if !feedback.reserved() {
+            return Err(LegionError::Other("enact_schedule on unreserved feedback".into()));
+        }
+        let mut created: Vec<(Mapping, Loid)> = Vec::with_capacity(feedback.mappings.len());
+        for (m, tok) in feedback.mappings.iter().zip(&feedback.reservations) {
+            let step = (|| -> Result<Loid, LegionError> {
+                self.fabric.link(self.loid, m.class)?;
+                let class = self
+                    .fabric
+                    .lookup_class(m.class)
+                    .ok_or(LegionError::NoSuchObject(m.class))?;
+                let placement =
+                    Placement { host: m.host, vault: m.vault, token: tok.clone() };
+                MetricsLedger::bump(&self.metrics().enact_instantiations);
+                class.create_instance(Some(placement), &*self.fabric)
+            })();
+            match step {
+                Ok(instance) => created.push((m.clone(), instance)),
+                Err(e) => {
+                    if self.config.atomic_enact {
+                        // Roll back: destroy started instances, release
+                        // the unused reservations.
+                        for (dm, inst) in &created {
+                            if let Some(class) = self.fabric.lookup_class(dm.class) {
+                                let _ = class.destroy_instance(*inst, &*self.fabric);
+                            }
+                        }
+                        for tok in
+                            &feedback.reservations[created.len().min(feedback.reservations.len())..]
+                        {
+                            self.cancel_one(tok);
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(created)
+    }
+}

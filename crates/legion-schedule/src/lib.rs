@@ -1,0 +1,20 @@
+//! Schedules and the Enactor.
+//!
+//! This crate implements the paper's schedule data structure (**Fig. 5**)
+//! — a list of master schedules, each with variant schedules carrying a
+//! per-variant bitmap — and the **Enactor** (**Fig. 6**), the "schedule
+//! implementor" that obtains reservations from the Hosts and Vaults named
+//! in a schedule, walks variants on failure while avoiding reservation
+//! thrashing, and instantiates objects through Class objects once the
+//! Scheduler confirms.
+
+pub mod bitmap;
+pub mod enactor;
+pub mod schedule;
+
+pub use bitmap::BitMap;
+pub use enactor::{Enactor, EnactorConfig};
+pub use schedule::{
+    FailureClass, Mapping, MasterSchedule, ScheduleFeedback, ScheduleOutcome, ScheduleRequest,
+    ScheduleRequestList, VariantSchedule,
+};

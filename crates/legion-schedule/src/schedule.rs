@@ -1,0 +1,347 @@
+//! The Schedule data structure (Fig. 5).
+//!
+//! "Each Schedule has at least one Master Schedule, and each Master
+//! Schedule may have a list of Variant Schedules associated with it.
+//! Both master and variant schedules contain a list of mappings, with
+//! each mapping having the type (Class LOID → (Host LOID × Vault LOID)).
+//! Each mapping indicates that an instance of the class should be
+//! started on the indicated (Host, Vault) pair." (§3.3)
+//!
+//! "Each entry in the variant schedule is a single-object mapping, and
+//! replaces one entry in the master schedule." (§3.4)
+//!
+//! The three Enactor-facing types mirror the paper's:
+//! `LegionScheduleList` → [`MasterSchedule`] (one schedule),
+//! `LegionScheduleRequestList` → [`ScheduleRequestList`] (the whole
+//! Fig. 5 structure), and `LegionScheduleFeedback` →
+//! [`ScheduleFeedback`] (the original request plus whether and which
+//! schedule's reservations succeeded).
+
+use crate::bitmap::BitMap;
+use legion_core::{LegionError, Loid, LoidKind, ReservationToken};
+
+/// One object mapping: Class LOID → (Host LOID × Vault LOID).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mapping {
+    /// The class to instantiate.
+    pub class: Loid,
+    /// The host to run on.
+    pub host: Loid,
+    /// The vault for the instance's OPR.
+    pub vault: Loid,
+}
+
+impl Mapping {
+    /// Creates a mapping.
+    pub fn new(class: Loid, host: Loid, vault: Loid) -> Self {
+        Mapping { class, host, vault }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.class.kind != LoidKind::Class {
+            return Err(format!("mapping class {} is not a class LOID", self.class));
+        }
+        if self.host.kind != LoidKind::Host {
+            return Err(format!("mapping host {} is not a host LOID", self.host));
+        }
+        if self.vault.kind != LoidKind::Vault {
+            return Err(format!("mapping vault {} is not a vault LOID", self.vault));
+        }
+        Ok(())
+    }
+}
+
+/// A master schedule: the primary list of mappings.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MasterSchedule {
+    /// The mappings, in instance order.
+    pub mappings: Vec<Mapping>,
+}
+
+impl MasterSchedule {
+    /// Creates a master schedule from mappings.
+    pub fn new(mappings: Vec<Mapping>) -> Self {
+        MasterSchedule { mappings }
+    }
+
+    /// Number of object mappings.
+    pub fn len(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Whether the schedule maps nothing.
+    pub fn is_empty(&self) -> bool {
+        self.mappings.is_empty()
+    }
+}
+
+/// A variant schedule: replacement mappings for some master positions,
+/// selected by a bitmap (one bit per master mapping).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantSchedule {
+    /// Which master positions this variant replaces.
+    pub replaces: BitMap,
+    /// Replacement mappings, one per set bit, in ascending bit order.
+    pub entries: Vec<Mapping>,
+}
+
+impl VariantSchedule {
+    /// Builds a variant replacing the given `(position, mapping)` pairs
+    /// of a master schedule with `master_len` mappings.
+    pub fn replacing(master_len: usize, replacements: &[(usize, Mapping)]) -> Self {
+        let mut pairs: Vec<(usize, Mapping)> = replacements.to_vec();
+        pairs.sort_by_key(|(i, _)| *i);
+        let replaces =
+            BitMap::from_indices(master_len, &pairs.iter().map(|(i, _)| *i).collect::<Vec<_>>());
+        VariantSchedule { replaces, entries: pairs.into_iter().map(|(_, m)| m).collect() }
+    }
+
+    /// The replacement for master position `i`, if this variant has one.
+    pub fn replacement_for(&self, i: usize) -> Option<&Mapping> {
+        if i >= self.replaces.len() || !self.replaces.get(i) {
+            return None;
+        }
+        let rank = self.replaces.iter_ones().position(|b| b == i)?;
+        self.entries.get(rank)
+    }
+}
+
+/// One schedule: a master plus its variants (one row of Fig. 5).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScheduleRequest {
+    /// The master schedule.
+    pub master: MasterSchedule,
+    /// Variant schedules, in preference order.
+    pub variants: Vec<VariantSchedule>,
+}
+
+impl ScheduleRequest {
+    /// A schedule with no variants.
+    pub fn master_only(mappings: Vec<Mapping>) -> Self {
+        ScheduleRequest { master: MasterSchedule::new(mappings), variants: Vec::new() }
+    }
+
+    /// Builder: append a variant.
+    pub fn with_variant(mut self, variant: VariantSchedule) -> Self {
+        self.variants.push(variant);
+        self
+    }
+
+    /// Resolves the effective mapping list under an optional variant.
+    pub fn resolve(&self, variant: Option<usize>) -> Vec<Mapping> {
+        let mut out = self.master.mappings.clone();
+        if let Some(vi) = variant {
+            if let Some(v) = self.variants.get(vi) {
+                for (rank, pos) in v.replaces.iter_ones().enumerate() {
+                    if let (Some(slot), Some(m)) = (out.get_mut(pos), v.entries.get(rank)) {
+                        *slot = m.clone();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Structural validation (Enactors refuse malformed schedules).
+    pub fn validate(&self) -> Result<(), LegionError> {
+        if self.master.is_empty() {
+            return Err(LegionError::MalformedSchedule("empty master schedule".into()));
+        }
+        for m in &self.master.mappings {
+            m.validate().map_err(LegionError::MalformedSchedule)?;
+        }
+        for (vi, v) in self.variants.iter().enumerate() {
+            if v.replaces.len() != self.master.len() {
+                return Err(LegionError::MalformedSchedule(format!(
+                    "variant {vi} bitmap length {} != master length {}",
+                    v.replaces.len(),
+                    self.master.len()
+                )));
+            }
+            if v.replaces.count_ones() != v.entries.len() {
+                return Err(LegionError::MalformedSchedule(format!(
+                    "variant {vi} has {} set bits but {} entries",
+                    v.replaces.count_ones(),
+                    v.entries.len()
+                )));
+            }
+            if v.entries.is_empty() {
+                return Err(LegionError::MalformedSchedule(format!("variant {vi} is empty")));
+            }
+            for m in &v.entries {
+                m.validate().map_err(LegionError::MalformedSchedule)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The whole Fig. 5 structure: a list of schedules to try in order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScheduleRequestList {
+    /// Schedules in preference order.
+    pub schedules: Vec<ScheduleRequest>,
+}
+
+impl ScheduleRequestList {
+    /// A list with one master-only schedule.
+    pub fn single(mappings: Vec<Mapping>) -> Self {
+        ScheduleRequestList { schedules: vec![ScheduleRequest::master_only(mappings)] }
+    }
+
+    /// Builder: append a schedule.
+    pub fn push(mut self, s: ScheduleRequest) -> Self {
+        self.schedules.push(s);
+        self
+    }
+
+    /// Validates every schedule.
+    pub fn validate(&self) -> Result<(), LegionError> {
+        if self.schedules.is_empty() {
+            return Err(LegionError::MalformedSchedule("no schedules in request".into()));
+        }
+        for s in &self.schedules {
+            s.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a whole request failed, as the Enactor "may (but is not required
+/// to) report" (§3.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureClass {
+    /// Could not obtain the resources (denials, capacity, policy).
+    ResourceUnavailable,
+    /// The schedule itself was structurally invalid.
+    Malformed(String),
+    /// Infrastructure failure (network, missing objects).
+    Infrastructure,
+}
+
+/// The outcome reported in feedback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleOutcome {
+    /// Reservations succeeded for schedule `schedule` (with variant
+    /// `variant` if not the pure master).
+    Reserved {
+        /// Index into the request list.
+        schedule: usize,
+        /// Variant index applied, or `None` for the pure master.
+        variant: Option<usize>,
+    },
+    /// Everything failed.
+    Failed(FailureClass),
+}
+
+/// `LegionScheduleFeedback`: "contains the original
+/// LegionScheduleRequestList and feedback information indicating whether
+/// the reservations were successfully made, and if so, which schedule
+/// succeeded" (§3.3).
+#[derive(Debug, Clone)]
+pub struct ScheduleFeedback {
+    /// The original request.
+    pub request: ScheduleRequestList,
+    /// What happened.
+    pub outcome: ScheduleOutcome,
+    /// Tokens obtained for the winning schedule, in mapping order
+    /// (empty on failure).
+    pub reservations: Vec<ReservationToken>,
+    /// The effective mappings the tokens correspond to.
+    pub mappings: Vec<Mapping>,
+}
+
+impl ScheduleFeedback {
+    /// Whether reservations were obtained.
+    pub fn reserved(&self) -> bool {
+        matches!(self.outcome, ScheduleOutcome::Reserved { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loid(kind: LoidKind, seq: u64) -> Loid {
+        Loid::synthetic(kind, seq)
+    }
+
+    fn mapping(c: u64, h: u64, v: u64) -> Mapping {
+        Mapping::new(
+            loid(LoidKind::Class, c),
+            loid(LoidKind::Host, h),
+            loid(LoidKind::Vault, v),
+        )
+    }
+
+    #[test]
+    fn variant_resolution_replaces_positions() {
+        let master = vec![mapping(1, 1, 1), mapping(1, 2, 1), mapping(1, 3, 1)];
+        let v = VariantSchedule::replacing(3, &[(1, mapping(1, 9, 1))]);
+        let s = ScheduleRequest { master: MasterSchedule::new(master), variants: vec![v] };
+        let resolved = s.resolve(Some(0));
+        assert_eq!(resolved[0], mapping(1, 1, 1));
+        assert_eq!(resolved[1], mapping(1, 9, 1));
+        assert_eq!(resolved[2], mapping(1, 3, 1));
+        // Pure master is untouched.
+        assert_eq!(s.resolve(None)[1], mapping(1, 2, 1));
+    }
+
+    #[test]
+    fn variant_multiple_replacements_in_order() {
+        let master = vec![mapping(1, 1, 1), mapping(1, 2, 1), mapping(1, 3, 1)];
+        // Provide replacements out of order; bit order must prevail.
+        let v = VariantSchedule::replacing(3, &[(2, mapping(1, 30, 1)), (0, mapping(1, 10, 1))]);
+        assert_eq!(v.replacement_for(0), Some(&mapping(1, 10, 1)));
+        assert_eq!(v.replacement_for(2), Some(&mapping(1, 30, 1)));
+        assert_eq!(v.replacement_for(1), None);
+        let s = ScheduleRequest { master: MasterSchedule::new(master), variants: vec![v] };
+        let r = s.resolve(Some(0));
+        assert_eq!(r[0], mapping(1, 10, 1));
+        assert_eq!(r[2], mapping(1, 30, 1));
+    }
+
+    #[test]
+    fn validation_catches_malformations() {
+        // Empty master.
+        assert!(ScheduleRequest::master_only(vec![]).validate().is_err());
+        // Wrong LOID kind in a mapping.
+        let bad = Mapping::new(
+            loid(LoidKind::Host, 1), // class slot holding a host LOID
+            loid(LoidKind::Host, 1),
+            loid(LoidKind::Vault, 1),
+        );
+        assert!(ScheduleRequest::master_only(vec![bad]).validate().is_err());
+        // Bitmap length mismatch.
+        let s = ScheduleRequest {
+            master: MasterSchedule::new(vec![mapping(1, 1, 1), mapping(1, 2, 1)]),
+            variants: vec![VariantSchedule {
+                replaces: BitMap::from_indices(3, &[0]),
+                entries: vec![mapping(1, 9, 1)],
+            }],
+        };
+        assert!(s.validate().is_err());
+        // Bit/entry count mismatch.
+        let s = ScheduleRequest {
+            master: MasterSchedule::new(vec![mapping(1, 1, 1), mapping(1, 2, 1)]),
+            variants: vec![VariantSchedule {
+                replaces: BitMap::from_indices(2, &[0, 1]),
+                entries: vec![mapping(1, 9, 1)],
+            }],
+        };
+        assert!(s.validate().is_err());
+        // Valid case.
+        let ok = ScheduleRequest {
+            master: MasterSchedule::new(vec![mapping(1, 1, 1), mapping(1, 2, 1)]),
+            variants: vec![VariantSchedule::replacing(2, &[(0, mapping(1, 9, 1))])],
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn request_list_validation() {
+        assert!(ScheduleRequestList::default().validate().is_err());
+        let ok = ScheduleRequestList::single(vec![mapping(1, 1, 1)]);
+        assert!(ok.validate().is_ok());
+    }
+}

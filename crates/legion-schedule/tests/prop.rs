@@ -1,0 +1,136 @@
+//! Property tests for the schedule data structures.
+
+use legion_core::{Loid, LoidKind};
+use legion_schedule::{BitMap, Mapping, MasterSchedule, ScheduleRequest, VariantSchedule};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn mapping(c: u64, h: u64, v: u64) -> Mapping {
+    Mapping::new(
+        Loid::synthetic(LoidKind::Class, c + 1),
+        Loid::synthetic(LoidKind::Host, h + 1),
+        Loid::synthetic(LoidKind::Vault, v + 1),
+    )
+}
+
+proptest! {
+    /// BitMap agrees with a BTreeSet model under arbitrary set/clear
+    /// sequences.
+    #[test]
+    fn bitmap_matches_set_model(
+        len in 1usize..200,
+        ops in proptest::collection::vec((any::<bool>(), 0usize..200), 0..100),
+    ) {
+        let mut bm = BitMap::new(len);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for (set, idx) in ops {
+            let i = idx % len;
+            if set {
+                bm.set(i);
+                model.insert(i);
+            } else {
+                bm.clear(i);
+                model.remove(&i);
+            }
+        }
+        prop_assert_eq!(bm.count_ones(), model.len());
+        prop_assert_eq!(bm.iter_ones().collect::<Vec<_>>(),
+                        model.iter().copied().collect::<Vec<_>>());
+        for i in 0..len {
+            prop_assert_eq!(bm.get(i), model.contains(&i));
+        }
+    }
+
+    /// `intersects` agrees with set intersection.
+    #[test]
+    fn bitmap_intersects_model(
+        len in 1usize..128,
+        a in proptest::collection::vec(0usize..128, 0..20),
+        b in proptest::collection::vec(0usize..128, 0..20),
+    ) {
+        let a: Vec<usize> = a.into_iter().map(|i| i % len).collect();
+        let b: Vec<usize> = b.into_iter().map(|i| i % len).collect();
+        let bma = BitMap::from_indices(len, &a);
+        let bmb = BitMap::from_indices(len, &b);
+        let sa: BTreeSet<usize> = a.into_iter().collect();
+        let sb: BTreeSet<usize> = b.into_iter().collect();
+        prop_assert_eq!(bma.intersects(&bmb), !sa.is_disjoint(&sb));
+    }
+
+    /// Variant resolution: replaced positions carry the variant mapping,
+    /// untouched positions carry the master's; resolution is total.
+    #[test]
+    fn variant_resolution_model(
+        n in 1usize..24,
+        replace_at in proptest::collection::btree_set(0usize..24, 0..8),
+    ) {
+        let replace_at: Vec<usize> =
+            replace_at.into_iter().filter(|&i| i < n).collect();
+        let master: Vec<Mapping> = (0..n as u64).map(|i| mapping(0, i, 0)).collect();
+        let replacements: Vec<(usize, Mapping)> = replace_at
+            .iter()
+            .map(|&i| (i, mapping(0, 1000 + i as u64, 0)))
+            .collect();
+        let variant = VariantSchedule::replacing(n, &replacements);
+        let sched = ScheduleRequest {
+            master: MasterSchedule::new(master.clone()),
+            variants: vec![variant],
+        };
+        if replacements.is_empty() {
+            // An empty variant is malformed by design; nothing to resolve.
+            prop_assert!(sched.validate().is_err());
+            return Ok(());
+        }
+        prop_assert!(sched.validate().is_ok());
+
+        let resolved = sched.resolve(Some(0));
+        prop_assert_eq!(resolved.len(), n);
+        for i in 0..n {
+            if replace_at.contains(&i) {
+                prop_assert_eq!(&resolved[i], &mapping(0, 1000 + i as u64, 0));
+            } else {
+                prop_assert_eq!(&resolved[i], &master[i]);
+            }
+        }
+        // Out-of-range variant index resolves to the master.
+        prop_assert_eq!(sched.resolve(Some(99)), master);
+    }
+
+    /// `replacement_for` is consistent with the bitmap.
+    #[test]
+    fn replacement_lookup_consistent(
+        n in 1usize..32,
+        replace_at in proptest::collection::btree_set(0usize..32, 1..8),
+    ) {
+        let replace_at: Vec<usize> =
+            replace_at.into_iter().filter(|&i| i < n).collect();
+        prop_assume!(!replace_at.is_empty());
+        let replacements: Vec<(usize, Mapping)> = replace_at
+            .iter()
+            .map(|&i| (i, mapping(1, i as u64, 2)))
+            .collect();
+        let v = VariantSchedule::replacing(n, &replacements);
+        for i in 0..n {
+            match v.replacement_for(i) {
+                Some(m) => {
+                    prop_assert!(replace_at.contains(&i));
+                    prop_assert_eq!(m, &mapping(1, i as u64, 2));
+                }
+                None => prop_assert!(!replace_at.contains(&i)),
+            }
+        }
+    }
+
+    /// Validation rejects any bitmap-length mismatch.
+    #[test]
+    fn validation_catches_length_mismatch(n in 1usize..16, m in 1usize..16) {
+        prop_assume!(n != m);
+        let master: Vec<Mapping> = (0..n as u64).map(|i| mapping(0, i, 0)).collect();
+        let variant = VariantSchedule::replacing(m, &[(0, mapping(0, 99, 0))]);
+        let sched = ScheduleRequest {
+            master: MasterSchedule::new(master),
+            variants: vec![variant],
+        };
+        prop_assert!(sched.validate().is_err());
+    }
+}

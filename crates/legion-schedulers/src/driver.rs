@@ -1,0 +1,122 @@
+//! The retry wrapper of Fig. 9, generalized over any Scheduler.
+//!
+//! ```text
+//! IRS_Wrapper(ObjectClass list) {
+//!   for i in 1 to SchedTryLimit, do {
+//!     sched = IRS_Gen_Placement(ObjectClass List, NSched);
+//!     for j in 1 to EnactTryLimit, do {
+//!       if (make_reservations(sched) succeeded) {
+//!         if (enact_placement(sched) succeeded) { return success; }
+//!       }
+//!     }
+//!   }
+//!   return failure;
+//! }
+//! ```
+//!
+//! "The Wrapper function has three global variables that limit the
+//! number of times it will try to generate schedules, the number of
+//! times it will attempt to enact each schedule, and the number of
+//! variant schedules generated per call" (§4.2). The third (NSched) is
+//! the scheduler's own; the driver carries the first two.
+
+use crate::traits::{SchedCtx, Scheduler};
+use legion_core::{LegionError, Loid, PlacementRequest};
+use legion_schedule::{Enactor, Mapping, ScheduleFeedback};
+
+/// Retry limits for the wrapper loop.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverLimits {
+    /// `SchedTryLimit`: schedule generations attempted.
+    pub sched_try_limit: usize,
+    /// `EnactTryLimit`: reservation+enactment attempts per schedule.
+    pub enact_try_limit: usize,
+}
+
+impl Default for DriverLimits {
+    fn default() -> Self {
+        DriverLimits { sched_try_limit: 3, enact_try_limit: 2 }
+    }
+}
+
+/// What happened during a driven placement.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Instances created (mapping → instance), in mapping order.
+    pub placed: Vec<(Mapping, Loid)>,
+    /// Schedule generations used.
+    pub generations: usize,
+    /// Reservation attempts used (across generations).
+    pub reservation_rounds: usize,
+    /// The final feedback (for inspection).
+    pub feedback: Option<ScheduleFeedback>,
+}
+
+/// Drives a Scheduler against an Enactor with Fig. 9's retry loops.
+pub struct ScheduleDriver<'a> {
+    scheduler: &'a dyn Scheduler,
+    enactor: &'a Enactor,
+    limits: DriverLimits,
+}
+
+impl<'a> ScheduleDriver<'a> {
+    /// A driver with default limits.
+    pub fn new(scheduler: &'a dyn Scheduler, enactor: &'a Enactor) -> Self {
+        Self::with_limits(scheduler, enactor, DriverLimits::default())
+    }
+
+    /// A driver with explicit limits.
+    pub fn with_limits(
+        scheduler: &'a dyn Scheduler,
+        enactor: &'a Enactor,
+        limits: DriverLimits,
+    ) -> Self {
+        ScheduleDriver { scheduler, enactor, limits }
+    }
+
+    /// Runs the wrapper loop to place `request`.
+    pub fn place(
+        &self,
+        request: &PlacementRequest,
+        ctx: &SchedCtx,
+    ) -> Result<DriverReport, LegionError> {
+        let mut generations = 0usize;
+        let mut reservation_rounds = 0;
+        let mut last_err = LegionError::AllSchedulesFailed { attempted: 0 };
+
+        #[allow(clippy::explicit_counter_loop)] // generations outlives the loop for the report
+        for _ in 0..self.limits.sched_try_limit {
+            generations += 1;
+            let sched = match self.scheduler.compute_schedule(request, ctx) {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            for _ in 0..self.limits.enact_try_limit {
+                reservation_rounds += 1;
+                let feedback = self.enactor.make_reservations(&sched);
+                if !feedback.reserved() {
+                    continue;
+                }
+                match self.enactor.enact_schedule(&feedback) {
+                    Ok(placed) => {
+                        return Ok(DriverReport {
+                            placed,
+                            generations,
+                            reservation_rounds,
+                            feedback: Some(feedback),
+                        });
+                    }
+                    Err(e) => {
+                        // Enactment failed after reservation; reservations
+                        // were rolled back by the atomic enactor. Retry.
+                        last_err = e;
+                    }
+                }
+            }
+        }
+        Err(last_err)
+    }
+}

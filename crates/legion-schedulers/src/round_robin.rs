@@ -1,0 +1,69 @@
+//! A deterministic round-robin scheduler.
+//!
+//! Not in the paper's pseudocode, but the simplest possible "drop-in
+//! module" demonstrating that third parties can substitute their own
+//! Schedulers (§1, §3). Also the natural baseline between Random and
+//! Load-aware in the experiments.
+
+use crate::traits::{SchedCtx, Scheduler};
+use legion_core::{LegionError, Loid, LoidKind, PlacementRequest};
+use legion_schedule::{Mapping, ScheduleRequestList};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Cycles instances across candidates in Collection order.
+pub struct RoundRobinScheduler {
+    loid: Loid,
+    cursor: AtomicUsize,
+}
+
+impl RoundRobinScheduler {
+    /// A fresh round-robin scheduler.
+    pub fn new() -> Self {
+        RoundRobinScheduler { loid: Loid::fresh(LoidKind::Service), cursor: AtomicUsize::new(0) }
+    }
+
+    /// This scheduler's identifier.
+    pub fn loid(&self) -> Loid {
+        self.loid
+    }
+}
+
+impl Default for RoundRobinScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn compute_schedule(
+        &self,
+        request: &PlacementRequest,
+        ctx: &SchedCtx,
+    ) -> Result<ScheduleRequestList, LegionError> {
+        if request.is_empty() {
+            return Err(LegionError::MalformedSchedule("empty placement request".into()));
+        }
+        let mut master = Vec::with_capacity(request.total_instances() as usize);
+        for item in &request.items {
+            let report = ctx.class_report(item.class)?;
+            let candidates: Vec<_> = ctx
+                .candidates_for(&report, item.constraint.as_deref())?
+                .into_iter()
+                .filter(|c| c.usable())
+                .collect();
+            if candidates.is_empty() {
+                return Err(LegionError::NoUsableImplementation { class: item.class });
+            }
+            for _ in 0..item.count {
+                let i = self.cursor.fetch_add(1, Ordering::Relaxed) % candidates.len();
+                let host = &candidates[i];
+                master.push(Mapping::new(item.class, host.host, host.vaults[0]));
+            }
+        }
+        Ok(ScheduleRequestList::single(master))
+    }
+}

@@ -1,0 +1,121 @@
+//! The Scheduler interface and shared candidate discovery.
+
+use legion_core::{ClassReport, LegionError, Loid, PlacementRequest};
+use legion_collection::Collection;
+use legion_fabric::Fabric;
+use legion_schedule::ScheduleRequestList;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// What a Scheduler sees: the Collection to query, the fabric for class
+/// reports, and a deterministic seed.
+pub struct SchedCtx {
+    /// The fabric (class lookups, clock, metrics).
+    pub fabric: Arc<Fabric>,
+    /// The Collection to query for resource descriptions.
+    pub collection: Arc<Collection>,
+}
+
+impl SchedCtx {
+    /// Creates a context.
+    pub fn new(fabric: Arc<Fabric>, collection: Arc<Collection>) -> Self {
+        SchedCtx { fabric, collection }
+    }
+
+    /// Reads a class's report ("any Scheduler may query the object
+    /// classes", §3.3).
+    pub fn class_report(&self, class: Loid) -> Result<ClassReport, LegionError> {
+        self.fabric
+            .lookup_class(class)
+            .map(|c| c.report())
+            .ok_or(LegionError::NoSuchObject(class))
+    }
+
+    /// Fig. 7's first two steps: "query the class for available
+    /// implementations; query Collection for Hosts matching available
+    /// implementations" — plus an optional extra constraint from the
+    /// placement request.
+    pub fn candidates_for(
+        &self,
+        report: &ClassReport,
+        extra_constraint: Option<&str>,
+    ) -> Result<Vec<Candidate>, LegionError> {
+        let mut q = String::new();
+        if report.implementations.is_empty() {
+            return Err(LegionError::NoUsableImplementation { class: report.class });
+        }
+        q.push('(');
+        for (i, imp) in report.implementations.iter().enumerate() {
+            if i > 0 {
+                q.push_str(" or ");
+            }
+            q.push_str(&format!(
+                r#"($host_arch == "{}" and $host_os_name == "{}")"#,
+                imp.arch, imp.os
+            ));
+        }
+        q.push(')');
+        if let Some(extra) = extra_constraint {
+            q.push_str(" and (");
+            q.push_str(extra);
+            q.push(')');
+        }
+
+        let records = self.collection.query(&q)?;
+        Ok(records
+            .into_iter()
+            .map(|rec| {
+                // "extract list of compatible vaults from H" (Fig. 7):
+                // the vault list travels inside the Collection record.
+                let vaults = rec
+                    .attrs
+                    .get(legion_core::host::well_known::COMPATIBLE_VAULTS)
+                    .and_then(|v| v.as_list())
+                    .map(|items| {
+                        items
+                            .iter()
+                            .filter_map(|v| v.as_str())
+                            .filter_map(|s| Loid::from_str(s).ok())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                Candidate { host: rec.member, vaults, attrs: rec.attrs }
+            })
+            .collect())
+    }
+}
+
+/// A host candidate extracted from a Collection record.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The host.
+    pub host: Loid,
+    /// Vaults the host reported compatible.
+    pub vaults: Vec<Loid>,
+    /// The full record attributes (load, domain, price...).
+    pub attrs: legion_core::AttributeDb,
+}
+
+impl Candidate {
+    /// Whether the candidate can actually hold an OPR somewhere.
+    pub fn usable(&self) -> bool {
+        !self.vaults.is_empty()
+    }
+}
+
+/// A placement policy: computes schedules, never enacts them.
+///
+/// "It is not our intent to directly develop more than a few
+/// widely-applicable Schedulers; we leave that task to experts in the
+/// field" (§3.3) — hence a trait with pluggable implementations.
+pub trait Scheduler: Send + Sync {
+    /// Policy name (experiment tables key on it).
+    fn name(&self) -> &'static str;
+
+    /// Computes a schedule request list for `request`.
+    fn compute_schedule(
+        &self,
+        request: &PlacementRequest,
+        ctx: &SchedCtx,
+    ) -> Result<ScheduleRequestList, LegionError>;
+}

@@ -1,0 +1,13 @@
+//! Vault object implementations.
+//!
+//! "Vaults are the generic storage abstraction in Legion" (§2.1). The
+//! [`StandardVault`] stores Object Persistent Representations in memory
+//! with capacity accounting, and implements the compatibility check that
+//! is the vault's "sole participation in the scheduling process" (§3.1).
+//! The paper's anticipated future differentiators — storage available,
+//! cost per byte, security policy — are implemented as attributes and
+//! admission rules so schedulers can exploit them today.
+
+pub mod vault;
+
+pub use vault::{StandardVault, VaultConfig};

@@ -1,0 +1,99 @@
+//! Site autonomy and co-allocation across a federation.
+//!
+//! "we have two goals which can often be at odds: users want to optimize
+//! ... while administrators want to ensure that their systems are safe
+//! and secure, and will grant resource access according to their own
+//! policies." (§1)
+//!
+//! Four administrative domains; each applies its own local policies:
+//! site0 accepts everyone, site1 refuses requests from site3, site2 only
+//! accepts work at night (virtual time), site3 caps load. The Enactor
+//! co-allocates one instance per domain on behalf of a requester in
+//! site3 and must route around the refusals with variant schedules.
+//!
+//! Run with: `cargo run --example federation`
+
+use legion::hosts::{DomainRefusal, LoadCeiling, TimeOfDayWindow};
+use legion::prelude::*;
+use legion::schedule::{
+    MasterSchedule, ScheduleRequest, ScheduleRequestList, VariantSchedule,
+};
+use std::sync::Arc;
+
+fn main() {
+    let tb = Testbed::build(TestbedConfig::wide(4, 3, 777));
+    let class = tb.register_class("federated-app", 50, 64);
+    tb.tick(SimDuration::from_secs(1));
+
+    // Administrators express their policies (paper §3.1).
+    println!("site policies:");
+    println!("  site0.edu: accept all");
+    println!("  site1.edu: refuse requests from site3.edu");
+    println!("  site2.edu: accept external work 18:00-08:00 only");
+    println!("  site3.edu: refuse when load > 0.5");
+    for (i, h) in tb.unix_hosts.iter().enumerate() {
+        match i / 3 {
+            1 => h.add_policy(Arc::new(DomainRefusal::new(["site3.edu"]))),
+            2 => h.add_policy(Arc::new(TimeOfDayWindow { from_hour: 18, to_hour: 8 })),
+            3 => h.add_policy(Arc::new(LoadCeiling { max_load: 0.5 })),
+            _ => {}
+        }
+    }
+
+    // The requester lives in site3.edu; it wants one instance in every
+    // domain (co-allocation), with the other hosts of each domain as
+    // variant spares.
+    let m = |d: usize, i: usize| {
+        Mapping::new(class, tb.unix_hosts[d * 3 + i].loid(), tb.vault_loids[d])
+    };
+    let master: Vec<Mapping> = (0..4).map(|d| m(d, 0)).collect();
+    let mut sched = ScheduleRequest { master: MasterSchedule::new(master), variants: vec![] };
+    for v in 1..3 {
+        let repl: Vec<(usize, Mapping)> = (0..4).map(|d| (d, m(d, v))).collect();
+        sched = sched.with_variant(VariantSchedule::replacing(4, &repl));
+    }
+    let request = ScheduleRequestList { schedules: vec![sched] };
+
+    let enactor = Enactor::with_config(
+        tb.fabric.clone(),
+        EnactorConfig { requester_domain: Some("site3.edu".into()), ..Default::default() },
+    );
+
+    // Attempt at noon (virtual): site2 refuses daytime work, site1
+    // refuses site3 outright — co-allocation cannot complete.
+    tb.fabric.clock().advance_to(SimTime::from_secs(12 * 3600));
+    let fb = enactor.make_reservations(&request);
+    println!("\nat 12:00 virtual: reserved = {} (site1 refuses us; site2 is closed)", fb.reserved());
+
+    // Retry at 02:00 the next virtual day: site2 is open, but site1
+    // still refuses site3 — only a schedule avoiding site1 can work.
+    tb.fabric.clock().advance_to(SimTime::from_secs(26 * 3600));
+    let fb = enactor.make_reservations(&request);
+    println!("at 02:00 virtual: reserved = {} (site1 still refuses site3)", fb.reserved());
+
+    // The requester adapts: replace site1 with a second instance in
+    // site0 — autonomy respected, application served.
+    let master = vec![m(0, 0), m(0, 1), m(2, 0), m(3, 0)];
+    let adapted = ScheduleRequestList::single(master);
+    let fb = enactor.make_reservations(&adapted);
+    println!("adapted schedule (skip site1): reserved = {}", fb.reserved());
+    if fb.reserved() {
+        let placed = enactor.enact_schedule(&fb).expect("enactment");
+        println!("\nco-allocated {} instances:", placed.len());
+        for (mapping, instance) in placed {
+            let host = tb.fabric.lookup_host(mapping.host).expect("host exists");
+            let dom = host
+                .attributes()
+                .get_str(legion::core::host::well_known::DOMAIN)
+                .unwrap_or("?")
+                .to_string();
+            println!("  {instance} in {dom}");
+        }
+    }
+
+    let m = tb.fabric.metrics().snapshot();
+    println!(
+        "\nnegotiation cost: {} reservation calls, {} denied by policy/capacity, {} granted",
+        m.reservation_requests, m.reservations_denied, m.reservations_granted
+    );
+}

@@ -1,0 +1,73 @@
+//! The §4.3 specialized policy: scheduling an MPI-style ocean simulation.
+//!
+//! "we are working with the DoD MSRC in Stennis, Mississippi to develop
+//! a Scheduler for an MPI-based ocean simulation which uses
+//! nearest-neighbor communication within a 2-D grid."
+//!
+//! This example schedules a 6x6 rank grid over four administrative
+//! domains with every scheduler in the library and compares the
+//! predicted completion time of the stencil application model.
+//!
+//! Run with: `cargo run --example ocean_sim`
+
+use legion::apps::{StencilApp, Testbed, TestbedConfig};
+use legion::prelude::*;
+use legion::schedulers::{GridSpec, RoundRobinScheduler};
+
+fn main() {
+    let grid = GridSpec::new(6, 6);
+    let app = StencilApp { grid, cycles: 500, compute_per_cycle: SimDuration::from_millis(40) };
+    println!(
+        "ocean simulation: {}x{} ranks, {} cycles, {} compute per rank per cycle\n",
+        grid.rows, grid.cols, app.cycles, app.compute_per_cycle
+    );
+
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(RandomScheduler::new(7)),
+        Box::new(RoundRobinScheduler::new()),
+        Box::new(LoadAwareScheduler::new()),
+        Box::new(StencilScheduler::new(grid)),
+    ];
+
+    println!(
+        "{:<14} {:>10} {:>16} {:>14}",
+        "scheduler", "placed", "comm cost (ms)", "completion (s)"
+    );
+    for s in schedulers {
+        // Fresh identical testbed per scheduler: 4 domains x 5 hosts,
+        // WAN latency 30 ms, LAN latency 100 us.
+        let tb = Testbed::build(TestbedConfig::wide(4, 5, 2024));
+        // 15-centi ranks: up to six ranks share a CPU under timesharing.
+        let class = tb.register_class("ocean-rank", 15, 64);
+        tb.tick(SimDuration::from_secs(1));
+
+        let sched = s
+            .compute_schedule(&PlacementRequest::new().class(class, grid.len() as u32), &tb.ctx())
+            .expect("schedule");
+        // Enact it for real: objects actually start on hosts.
+        let enactor = Enactor::new(tb.fabric.clone());
+        let fb = enactor.make_reservations(&sched);
+        let placed = if fb.reserved() {
+            enactor.enact_schedule(&fb).map(|v| v.len()).unwrap_or(0)
+        } else {
+            0
+        };
+
+        let mappings = &sched.schedules[0].master.mappings;
+        let comm = app.edge_cost(&tb.fabric, mappings);
+        let completion = app.completion(&tb.fabric, mappings, |_| 0.0);
+        println!(
+            "{:<14} {:>10} {:>16.3} {:>14.2}",
+            s.name(),
+            placed,
+            comm as f64 / 1e3,
+            completion.as_secs_f64()
+        );
+    }
+
+    println!(
+        "\nThe stencil scheduler keeps nearest-neighbour ranks inside one\n\
+         administrative domain, so halo exchanges avoid WAN latency — the\n\
+         paper's motivation for application-class-specific Schedulers."
+    );
+}

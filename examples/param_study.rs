@@ -1,0 +1,76 @@
+//! A parameter space study — the paper's other motivating application
+//! class (§4.3) — scheduled with IRS under contention.
+//!
+//! 32 independent simulation tasks are placed on a 3-domain testbed
+//! where background load varies per host (AR(1) processes, the kind the
+//! Network Weather Service forecasts). We compare the bag-of-tasks
+//! makespan under Random, IRS and Load-aware placement.
+//!
+//! Run with: `cargo run --example param_study`
+
+use legion::apps::{BagOfTasks, LoadRegime, Testbed, TestbedConfig};
+use legion::prelude::*;
+
+fn main() {
+    let bag = BagOfTasks::generate(32, SimDuration::from_secs(120), 0.3, 99);
+    println!(
+        "parameter study: {} tasks, {:.0} s total serial work\n",
+        bag.tasks.len(),
+        bag.total_work().as_secs_f64()
+    );
+
+    println!("{:<22} {:>8} {:>14} {:>16}", "scheduler", "placed", "makespan (s)", "vs serial");
+    for which in ["random", "irs", "load-aware"] {
+        // Identical loaded testbeds: 3 domains x 8 hosts, mean load 0.6.
+        let tb = Testbed::build(TestbedConfig {
+            load: LoadRegime::Ar1 { mean: 0.6 },
+            ..TestbedConfig::wide(3, 8, 4242)
+        });
+        // Quarter-CPU tasks so several can share a host (24 hosts, 32 tasks).
+        let class = tb.register_class("sim-task", 25, 64);
+        // Let loads evolve and the Collection catch up.
+        for _ in 0..4 {
+            tb.tick(SimDuration::from_secs(30));
+        }
+
+        let scheduler: Box<dyn Scheduler> = match which {
+            "random" => Box::new(RandomScheduler::new(1)),
+            "irs" => Box::new(IrsScheduler::new(1, 6)),
+            _ => Box::new(LoadAwareScheduler::new()),
+        };
+        let enactor = Enactor::new(tb.fabric.clone());
+        let driver = ScheduleDriver::new(&*scheduler, &enactor);
+        let request = PlacementRequest::new().class(class, 32);
+        let Ok(outcome) = driver.place(&request, &tb.ctx()) else {
+            println!("{which:<22} {:>8} {:>14} {:>16}", 0, "failed", "-");
+            continue;
+        };
+
+        // Score the placement with the bag-of-tasks model: task i runs
+        // on the host of mapping i, slowed by that host's load.
+        let assignment: Vec<Loid> = outcome.placed.iter().map(|(m, _)| m.host).collect();
+        let makespan = bag.makespan(&assignment, |h| {
+            tb.fabric
+                .lookup_host(h)
+                .map(|host| {
+                    host.attributes()
+                        .get_f64(legion::core::host::well_known::LOAD)
+                        .unwrap_or(0.0)
+                })
+                .unwrap_or(0.0)
+        });
+        println!(
+            "{:<22} {:>8} {:>14.1} {:>15.1}x",
+            scheduler.name(),
+            outcome.placed.len(),
+            makespan.as_secs_f64(),
+            bag.total_work().as_secs_f64() / makespan.as_secs_f64().max(1e-9)
+        );
+    }
+
+    println!(
+        "\nLoad-aware placement reads the rich host attributes the paper's\n\
+         Collection exports; IRS tolerates contention with variant schedules;\n\
+         Random is the 90% solution."
+    );
+}

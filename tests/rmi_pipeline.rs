@@ -1,0 +1,171 @@
+//! Full Fig. 3 pipeline: every numbered step of the paper's object
+//! placement walkthrough, across crates, through the facade.
+
+use legion::prelude::*;
+use legion::schedulers::RoundRobinScheduler;
+
+#[test]
+fn thirteen_step_walkthrough() {
+    // Step 1: the Collection is populated with resource descriptions
+    // (the testbed's pull daemon does this).
+    let tb = Testbed::build(TestbedConfig::wide(2, 4, 1));
+    assert_eq!(tb.collection.len(), 8);
+
+    let class = tb.register_class("app", 25, 64);
+    let ctx = tb.ctx();
+
+    // Steps 2-3: the Scheduler acquires application knowledge from the
+    // class...
+    let report = ctx.class_report(class).unwrap();
+    assert_eq!(report.cpu_centis, 25);
+    // ...and queries the Collection.
+    let candidates = ctx.candidates_for(&report, None).unwrap();
+    assert_eq!(candidates.len(), 8);
+
+    // The Scheduler computes a mapping of objects to resources.
+    let scheduler = RandomScheduler::new(3);
+    let sched = scheduler
+        .compute_schedule(&PlacementRequest::new().class(class, 4), &ctx)
+        .unwrap();
+    assert_eq!(sched.schedules[0].master.len(), 4);
+
+    // Steps 4-6: the Enactor obtains reservations from the resources
+    // named in the mapping.
+    let enactor = Enactor::new(tb.fabric.clone());
+    let feedback = enactor.make_reservations(&sched);
+    assert!(feedback.reserved());
+    assert_eq!(feedback.reservations.len(), 4);
+    // Every token is verifiable by its host (non-forgeable, host-bound).
+    for (tok, m) in feedback.reservations.iter().zip(&feedback.mappings) {
+        assert_eq!(tok.host, m.host);
+        let host = tb.fabric.lookup_host(m.host).unwrap();
+        assert!(host.check_reservation(tok, tb.fabric.clock().now()).is_ok());
+    }
+
+    // Step 7: the Enactor consults the Scheduler to confirm — modelled
+    // as the caller deciding to proceed.
+    // Steps 8-9: instantiate through the class objects; 10-11: results
+    // return to the Scheduler.
+    let placed = enactor.enact_schedule(&feedback).unwrap();
+    assert_eq!(placed.len(), 4);
+    let class_obj = tb.fabric.lookup_class(class).unwrap();
+    assert_eq!(class_obj.instances().len(), 4);
+
+    // Steps 12-13: a resource decides an object must move; the Monitor
+    // notifies and rescheduling happens (covered in depth by the
+    // migration_monitor test; here we just verify the hook exists).
+    let monitor = Monitor::new();
+    let host = tb.fabric.lookup_host(placed[0].0.host).unwrap();
+    monitor.watch_load(&host, 0.5);
+    assert_eq!(monitor.watched().len(), 1);
+}
+
+#[test]
+fn default_class_placement_works_without_scheduler() {
+    // §2.1: in the absence of a placement argument the Class makes a
+    // quick placement decision itself.
+    let tb = Testbed::build(TestbedConfig::local(4, 2));
+    let class = tb.register_class("auto", 25, 64);
+    let class_obj = tb.fabric.lookup_class(class).unwrap();
+    let instance = class_obj.create_instance(None, &*tb.fabric).unwrap();
+    let located = class_obj.instances();
+    assert_eq!(located.len(), 1);
+    assert_eq!(located[0].0, instance);
+    // It actually runs on the chosen host.
+    let host = tb.fabric.lookup_host(located[0].1).unwrap();
+    assert!(host.running_objects().contains(&instance));
+}
+
+#[test]
+fn directed_placement_validates_token_ownership() {
+    // §3.4: the Class checks directed placements for validity.
+    let tb = Testbed::build(TestbedConfig::local(2, 3));
+    let class_a = tb.register_class("a", 25, 64);
+    let class_b = tb.register_class("b", 25, 64);
+    let host = tb.unix_hosts[0].clone();
+    let vault = host.get_compatible_vaults()[0];
+    let req = ReservationRequest::instantaneous(class_a, vault, SimDuration::from_secs(60));
+    let tok = host.make_reservation(&req, tb.fabric.clock().now()).unwrap();
+
+    // A token minted for class A cannot instantiate class B.
+    let class_b_obj = tb.fabric.lookup_class(class_b).unwrap();
+    let placement =
+        legion::core::Placement { host: host.loid(), vault, token: tok.clone() };
+    let err = class_b_obj.create_instance(Some(placement), &*tb.fabric);
+    assert!(matches!(err, Err(LegionError::MalformedSchedule(_))));
+
+    // The right class accepts it.
+    let class_a_obj = tb.fabric.lookup_class(class_a).unwrap();
+    let placement = legion::core::Placement { host: host.loid(), vault, token: tok };
+    class_a_obj.create_instance(Some(placement), &*tb.fabric).unwrap();
+}
+
+#[test]
+fn fabric_meters_the_negotiation() {
+    let tb = Testbed::build(TestbedConfig::wide(2, 2, 4));
+    let class = tb.register_class("app", 25, 64);
+    let before = tb.fabric.metrics().snapshot();
+
+    let scheduler = RoundRobinScheduler::new();
+    let enactor = Enactor::new(tb.fabric.clone());
+    let driver = ScheduleDriver::new(&scheduler, &enactor);
+    driver.place(&PlacementRequest::new().class(class, 4), &tb.ctx()).unwrap();
+
+    let d = tb.fabric.metrics().snapshot().delta(&before);
+    assert_eq!(d.collection_queries, 1, "one Collection lookup for the class");
+    assert_eq!(d.reservations_granted, 4);
+    assert_eq!(d.objects_started, 4);
+    assert_eq!(d.enact_instantiations, 4);
+    assert!(d.messages >= 8, "reservation + instantiation traffic");
+    assert!(d.sim_latency_us > 0);
+}
+
+#[test]
+fn class_selects_implementation_per_platform() {
+    use legion::core::{LegionClass, ObjectImplementation};
+    use std::sync::Arc;
+    // A bed with one IRIX host and one Linux host; a class shipping two
+    // binaries must instantiate on both, selecting per platform (§3.3).
+    let tb = Testbed::build(TestbedConfig::local(1, 5));
+    let linux = StandardHost::new(
+        HostConfig::unix("lx", "site0.edu").platform("x86", "Linux", "2.2"),
+        tb.fabric.clone(),
+        88,
+    );
+    let linux_loid = linux.loid();
+    tb.fabric.register_host(linux as Arc<dyn HostObject>, DomainId(0));
+
+    let class = Arc::new(LegionClass::new(
+        "portable",
+        vec![
+            ObjectImplementation::new("mips", "IRIX"),
+            ObjectImplementation::new("x86", "Linux"),
+        ],
+    ));
+    let class_loid = class.loid();
+    tb.fabric.register_class(class);
+    let class_obj = tb.fabric.lookup_class(class_loid).unwrap();
+
+    // Default placement walks hosts in order: first instance on the
+    // IRIX box, then saturate it so the second lands on Linux.
+    let a = class_obj.create_instance(None, &*tb.fabric).unwrap();
+    let b = class_obj.create_instance(None, &*tb.fabric).unwrap();
+    let locations: std::collections::BTreeSet<Loid> =
+        class_obj.instances().iter().map(|&(_, h)| h).collect();
+    assert_eq!(locations.len(), 2, "instances spread over both platforms");
+    assert!(locations.contains(&linux_loid));
+    assert_ne!(a, b);
+
+    // A class with only an alpha/OSF binary can run nowhere here.
+    let exotic = Arc::new(LegionClass::new(
+        "exotic",
+        vec![ObjectImplementation::new("alpha", "OSF1")],
+    ));
+    let exotic_loid = exotic.loid();
+    tb.fabric.register_class(exotic);
+    let exotic_obj = tb.fabric.lookup_class(exotic_loid).unwrap();
+    assert!(matches!(
+        exotic_obj.create_instance(None, &*tb.fabric),
+        Err(LegionError::NoUsableImplementation { .. })
+    ));
+}

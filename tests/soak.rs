@@ -1,0 +1,100 @@
+//! A deterministic soak: hours of virtual time on a federated bed with
+//! churn — placements, completions, load spikes, migrations, host
+//! drains — while checking global invariants every tick.
+
+use legion::hosts::BackgroundLoad;
+use legion::prelude::*;
+use legion::schedulers::RoundRobinScheduler;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn soak_federation_under_churn() {
+    let tb = Testbed::build(TestbedConfig::wide(3, 4, 4242));
+    let class = tb.register_class("churn", 20, 48);
+    tb.tick(SimDuration::from_secs(1));
+
+    let scheduler = RoundRobinScheduler::new();
+    let enactor = Enactor::new(tb.fabric.clone());
+    let rb = Rebalancer::new(tb.fabric.clone());
+    rb.watch_all(1.5);
+
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut live: Vec<Loid> = Vec::new();
+    let mut placed_total = 0u64;
+    let mut killed_total = 0u64;
+    let class_obj = tb.fabric.lookup_class(class).unwrap();
+
+    for tick in 0..120 {
+        // Arrival: one new placement most ticks.
+        if rng.gen_bool(0.7) {
+            let driver = ScheduleDriver::new(&scheduler, &enactor);
+            if let Ok(report) =
+                driver.place(&PlacementRequest::new().class(class, 1), &tb.ctx())
+            {
+                live.push(report.placed[0].1);
+                placed_total += 1;
+            }
+        }
+        // Departure: objects finish at random.
+        if !live.is_empty() && rng.gen_bool(0.5) {
+            let idx = rng.gen_range(0..live.len());
+            let victim = live.swap_remove(idx);
+            if class_obj.destroy_instance(victim, &*tb.fabric).is_ok() {
+                killed_total += 1;
+            }
+        }
+        // Occasionally spike a host's background load...
+        if tick % 17 == 0 {
+            let i = rng.gen_range(0..tb.unix_hosts.len());
+            tb.unix_hosts[i].set_background_load(BackgroundLoad::steady(2.5));
+        }
+        // ...and occasionally calm one down.
+        if tick % 23 == 0 {
+            let i = rng.gen_range(0..tb.unix_hosts.len());
+            tb.unix_hosts[i].set_background_load(BackgroundLoad::steady(0.1));
+        }
+
+        tb.tick(SimDuration::from_secs(30));
+        rb.rebalance_once();
+
+        // Invariant 1: every live object runs on exactly one host, and
+        // the class's location bookkeeping matches reality.
+        let mut seen = std::collections::BTreeMap::new();
+        for h in &tb.unix_hosts {
+            for o in h.running_objects() {
+                *seen.entry(o).or_insert(0) += 1;
+            }
+        }
+        for (obj, count) in &seen {
+            assert_eq!(*count, 1, "object {obj} running on {count} hosts at tick {tick}");
+        }
+        for &obj in &live {
+            assert!(seen.contains_key(&obj), "live object {obj} vanished at tick {tick}");
+        }
+        // Invariant 2: no host over its memory capacity.
+        for h in &tb.unix_hosts {
+            let free = h
+                .attributes()
+                .get_i64(legion::core::host::well_known::FREE_MEMORY_MB)
+                .unwrap();
+            assert!(free >= 0, "host over-committed memory at tick {tick}");
+        }
+    }
+
+    // The run actually did something.
+    assert!(placed_total >= 60, "placed {placed_total}");
+    assert!(killed_total >= 30, "killed {killed_total}");
+    let m = tb.fabric.metrics().snapshot();
+    assert_eq!(m.objects_started, placed_total);
+    assert!(m.reservations_granted >= placed_total);
+    // Load spikes should have produced at least a few migrations.
+    assert!(m.migrations >= 1, "churn with spikes should migrate something");
+    // Bookkeeping closes: objects started minus killed, with migrations
+    // (deactivate + reactivate) cancelling out, equals the live set.
+    assert_eq!(
+        m.objects_started - killed_total - m.objects_deactivated + m.objects_reactivated,
+        live.len() as u64,
+        "object conservation"
+    );
+}
