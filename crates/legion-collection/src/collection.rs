@@ -256,6 +256,32 @@ impl Collection {
     pub fn member_attr(&self, member: Loid, name: &str) -> Option<AttrValue> {
         self.records.read().get(&member).and_then(|r| r.attrs.get(name).cloned())
     }
+
+    /// Evicts every record staler than `ttl` at `now`, returning the
+    /// evicted members.
+    ///
+    /// A crashed host cannot leave the Collection gracefully — it just
+    /// falls silent, and without eviction its last description keeps
+    /// matching Scheduler queries forever, steering placements at a dead
+    /// machine. The TTL should comfortably exceed the pull-daemon sweep
+    /// interval so live-but-slow members are not evicted by mistake.
+    pub fn evict_stale(
+        &self,
+        now: SimTime,
+        ttl: legion_core::SimDuration,
+    ) -> Vec<Loid> {
+        let mut records = self.records.write();
+        let dead: Vec<Loid> = records
+            .values()
+            .filter(|r| r.staleness(now) > ttl)
+            .map(|r| r.member)
+            .collect();
+        for member in &dead {
+            records.remove(member);
+            self.bump(|m| MetricsLedger::bump(&m.collection_evictions));
+        }
+        dead
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +362,23 @@ mod tests {
             c.max_staleness(SimTime::from_secs(25)),
             legion_core::SimDuration::from_secs(15)
         );
+    }
+
+    #[test]
+    fn stale_records_age_out() {
+        use legion_core::SimDuration;
+        let c = Collection::new(42);
+        let cred1 = c.join_with(l(1), host_attrs("IRIX", 0.2), SimTime::ZERO);
+        c.join_with(l(2), host_attrs("Linux", 0.5), SimTime::ZERO);
+        // Only member 1 keeps reporting.
+        c.update(&cred1, &AttributeDb::new().with("host_load", 0.3), SimTime::from_secs(90))
+            .unwrap();
+        let evicted = c.evict_stale(SimTime::from_secs(120), SimDuration::from_secs(60));
+        assert_eq!(evicted, vec![l(2)]);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(l(1)).is_some());
+        // Nothing else is stale: a second sweep is a no-op.
+        assert!(c.evict_stale(SimTime::from_secs(120), SimDuration::from_secs(60)).is_empty());
     }
 
     #[test]

@@ -82,6 +82,11 @@ impl DataCollectionDaemon {
         let hosts: Vec<Arc<dyn HostObject>> = self.hosts.read().clone();
         let mut refreshed = 0;
         for host in hosts {
+            // A crashed host answers no pulls: its records simply stop
+            // refreshing and age out via `Collection::evict_stale`.
+            if host.is_crashed() {
+                continue;
+            }
             let loid = host.loid();
             let attrs = host.attributes();
             if let Some(f) = self.forecaster.read().as_ref() {
@@ -94,9 +99,17 @@ impl DataCollectionDaemon {
                 match t.credentials.get(&loid) {
                     Some(cred) => {
                         // Replace wholesale: the pull model snapshots
-                        // state.
-                        if t.collection.replace(cred, attrs.clone(), now).is_ok() {
-                            refreshed += 1;
+                        // state. A missing record means the member was
+                        // TTL-evicted while unreachable — re-join.
+                        match t.collection.replace(cred, attrs.clone(), now) {
+                            Ok(()) => refreshed += 1,
+                            Err(legion_core::LegionError::NoSuchObject(_)) => {
+                                let cred =
+                                    t.collection.join_with(loid, attrs.clone(), now);
+                                t.credentials.insert(loid, cred);
+                                refreshed += 1;
+                            }
+                            Err(_) => {}
                         }
                     }
                     None => {
@@ -184,6 +197,35 @@ mod tests {
         d.pull_once(SimTime::from_secs(9));
         assert_eq!(primary.get(h.loid()).unwrap().updated_at, SimTime::from_secs(9));
         assert_eq!(secondary.get(h.loid()).unwrap().updated_at, SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn crashed_hosts_are_skipped_and_age_out() {
+        use legion_core::SimDuration;
+        let c = Collection::new(7);
+        let d = DataCollectionDaemon::new(Arc::clone(&c));
+        let h0 = StandardHost::new(HostConfig::unix("h0", "uva.edu"), Arc::new(EmptyDir), 1);
+        let h1 = StandardHost::new(HostConfig::unix("h1", "uva.edu"), Arc::new(EmptyDir), 2);
+        d.track_host(h0.clone());
+        d.track_host(h1.clone());
+        assert_eq!(d.pull_once(SimTime::ZERO), 2);
+
+        // h1 crashes: subsequent sweeps refresh only h0.
+        h1.crash();
+        assert_eq!(d.pull_once(SimTime::from_secs(30)), 1);
+        assert_eq!(c.get(h1.loid()).unwrap().updated_at, SimTime::ZERO);
+
+        // The stale record ages out; the (still refreshing) live host's
+        // stays.
+        assert_eq!(d.pull_once(SimTime::from_secs(60)), 1);
+        let evicted = c.evict_stale(SimTime::from_secs(90), SimDuration::from_secs(45));
+        assert_eq!(evicted, vec![h1.loid()]);
+        assert!(c.get(h0.loid()).is_some());
+
+        // After restart the next sweep re-joins the host.
+        h1.restart(SimTime::from_secs(120));
+        assert_eq!(d.pull_once(SimTime::from_secs(120)), 2);
+        assert!(c.get(h1.loid()).is_some());
     }
 
     #[test]

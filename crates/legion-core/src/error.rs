@@ -57,6 +57,11 @@ pub enum LegionError {
     NoSuchOpr(Loid),
     /// The vault has no room for the OPR.
     VaultFull(Loid),
+    /// The host has crashed (fail-stop): it answers no calls, its
+    /// volatile state is lost, and it stays down until restarted. Callers
+    /// should not retry against the same host; the Enactor's variant walk
+    /// or the Monitor's restart-from-OPR path is the recovery route.
+    HostDown(Loid),
     /// Simulated network failure between domains.
     NetworkFailure {
         /// Message source.
@@ -112,6 +117,7 @@ impl fmt::Display for LegionError {
             NoSuchVault(l) => write!(f, "no such vault {l}"),
             NoSuchOpr(l) => write!(f, "no OPR stored for object {l}"),
             VaultFull(l) => write!(f, "vault {l} is full"),
+            HostDown(l) => write!(f, "host {l} is down"),
             NetworkFailure { from, to } => write!(f, "network failure {from} -> {to}"),
             MalformedSchedule(why) => write!(f, "malformed schedule: {why}"),
             AllSchedulesFailed { attempted } => {
@@ -147,7 +153,16 @@ impl LegionError {
                 | PolicyRefused { .. }
                 | NetworkFailure { .. }
                 | VaultFull(_)
+                | HostDown(_)
         )
+    }
+
+    /// Whether retrying the *same* host can ever succeed without outside
+    /// intervention. `HostDown` and `NoSuchHost` are permanent per-host:
+    /// the Enactor should fail over to a variant mapping immediately
+    /// instead of burning attempts (and backoff budget) on a dead host.
+    pub fn is_permanent_for_host(&self) -> bool {
+        matches!(self, LegionError::HostDown(_) | LegionError::NoSuchHost(_))
     }
 }
 

@@ -189,6 +189,30 @@ pub trait HostObject: Send + Sync {
     /// information describing the Host's state" (§3.1).
     fn attributes(&self) -> AttributeDb;
 
+    // --- Failure model ----------------------------------------------------
+
+    /// Simulated fail-stop crash (§3.4 failure model): volatile state —
+    /// running objects and live reservations — is lost, and every
+    /// subsequent call fails with [`LegionError::HostDown`] until
+    /// [`HostObject::restart`]. Hosts without a failure model ignore it.
+    fn crash(&self) {}
+
+    /// Brings a crashed host back up with reclaimed (empty) resources.
+    /// Objects that were running are *not* resurrected — recovery is the
+    /// Monitor's restart-from-OPR path (§2.1).
+    fn restart(&self, _now: SimTime) {}
+
+    /// Whether this host is currently crashed.
+    fn is_crashed(&self) -> bool {
+        false
+    }
+
+    /// Liveness probe ("are you there?"), as a Monitor would issue when a
+    /// host misses its RGE reports. A crashed host answers `HostDown`.
+    fn probe(&self, _now: SimTime) -> Result<(), LegionError> {
+        Ok(())
+    }
+
     // --- Triggers and periodic reassessment ------------------------------
 
     /// Registers an RGE trigger; returns its identifier.

@@ -75,6 +75,9 @@ impl Opr {
     }
 }
 
+// Only referenced from the Serialize/Deserialize derive expansions; the
+// vendored no-op derives leave it unused at compile time.
+#[allow(dead_code)]
 mod bytes_serde {
     use bytes::Bytes;
     use serde::{Deserialize, Deserializer, Serializer};

@@ -35,6 +35,11 @@ impl SimTime {
         SimTime(ms * 1_000)
     }
 
+    /// Builds an instant from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
     /// Microseconds since the epoch.
     pub fn as_micros(self) -> u64 {
         self.0

@@ -2,6 +2,7 @@
 
 use crate::clock::VirtualClock;
 use crate::domain::{DomainId, DomainTopology};
+use crate::faults::{FaultAction, FaultPlan};
 use crate::metrics::MetricsLedger;
 use crate::rng::DetRng;
 use legion_core::{
@@ -31,6 +32,20 @@ pub struct Fabric {
     metrics: Arc<MetricsLedger>,
     rng: DetRng,
     link_rng: Mutex<SmallRng>,
+    chaos: Mutex<Option<ChaosState>>,
+}
+
+/// Live state of an installed fault plan: the not-yet-fired events plus
+/// the active (healable) network effects, against the topology as it was
+/// when the plan was installed.
+struct ChaosState {
+    pending: Vec<crate::faults::FaultEvent>,
+    next: usize,
+    base: DomainTopology,
+    /// `(a, b, heal_at)` — both directions are cut until `heal_at`.
+    partitions: Vec<(DomainId, DomainId, SimTime)>,
+    /// `(drop_prob, extra_latency, until)`.
+    bursts: Vec<(f64, SimDuration, SimTime)>,
 }
 
 impl Fabric {
@@ -48,6 +63,7 @@ impl Fabric {
             metrics: Arc::new(MetricsLedger::default()),
             rng,
             link_rng,
+            chaos: Mutex::new(None),
         })
     }
 
@@ -79,6 +95,13 @@ impl Fabric {
         let loid = vault.loid();
         self.vaults.write().insert(loid, vault);
         self.locations.write().insert(loid, domain);
+    }
+
+    /// Removes a vault from the fabric — the OPRs it holds become
+    /// unreachable. Returns the removed vault, if it existed.
+    pub fn unregister_vault(&self, loid: Loid) -> Option<Arc<dyn VaultObject>> {
+        self.locations.write().remove(&loid);
+        self.vaults.write().remove(&loid)
     }
 
     /// Registers a class object (classes are placeless; they are charged
@@ -170,16 +193,131 @@ impl Fabric {
     }
 
     /// Drives one reassessment tick on every host, in LOID order,
-    /// advancing the clock by `dt` first. Returns the number of RGE
-    /// events raised.
+    /// advancing the clock by `dt` first (and firing any fault-plan
+    /// events that have come due). Returns the number of RGE events
+    /// raised — crashed hosts contribute none, which is precisely the
+    /// "missed report" signal a Monitor watches for.
     pub fn tick_all_hosts(&self, dt: SimDuration) -> usize {
         let now = self.clock.advance(dt);
+        self.apply_due_faults(now);
         let hosts: Vec<Arc<dyn HostObject>> = self.hosts.read().values().cloned().collect();
         let mut events = 0;
         for h in hosts {
             events += h.reassess(now).len();
         }
         events
+    }
+
+    // --- fault injection --------------------------------------------------
+
+    /// Installs a fault plan; its events fire as [`Fabric::tick_all_hosts`]
+    /// advances the clock past them. Replaces any previous plan (active
+    /// partitions and bursts from the old plan are healed first).
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        let mut chaos = self.chaos.lock();
+        if let Some(old) = chaos.take() {
+            *self.topology.write() = old.base.clone();
+        }
+        *chaos = Some(ChaosState {
+            pending: plan.events().to_vec(),
+            next: 0,
+            base: self.topology.read().clone(),
+            partitions: Vec::new(),
+            bursts: Vec::new(),
+        });
+    }
+
+    /// Fires every installed fault event with `at <= now`, heals expired
+    /// partitions and bursts, and rebuilds the topology from the base
+    /// plus the still-active effects.
+    fn apply_due_faults(&self, now: SimTime) {
+        let mut chaos = self.chaos.lock();
+        let Some(state) = chaos.as_mut() else { return };
+        let mut network_dirty = false;
+
+        while state.next < state.pending.len() && state.pending[state.next].at <= now {
+            let ev = state.pending[state.next].clone();
+            state.next += 1;
+            MetricsLedger::bump(&self.metrics.faults_injected);
+            match ev.action {
+                FaultAction::CrashHost(l) => {
+                    // The host counts its own crash (idempotently); the
+                    // fabric only delivers the fault.
+                    if let Some(h) = self.hosts.read().get(&l) {
+                        h.crash();
+                    }
+                }
+                FaultAction::RestartHost(l) => {
+                    if let Some(h) = self.hosts.read().get(&l) {
+                        h.restart(now);
+                    }
+                }
+                FaultAction::LoseVault(l) => {
+                    if self.unregister_vault(l).is_some() {
+                        MetricsLedger::bump(&self.metrics.vaults_lost);
+                    }
+                }
+                FaultAction::Partition { a, b, heal_at } => {
+                    state.partitions.push((a, b, heal_at));
+                    MetricsLedger::bump(&self.metrics.partitions_started);
+                    network_dirty = true;
+                }
+                FaultAction::DegradeLinks { drop_prob, extra_latency, until } => {
+                    state.bursts.push((drop_prob, extra_latency, until));
+                    MetricsLedger::bump(&self.metrics.link_bursts);
+                    network_dirty = true;
+                }
+            }
+        }
+
+        let before = state.partitions.len();
+        state.partitions.retain(|&(_, _, heal_at)| heal_at > now);
+        let healed = before - state.partitions.len();
+        if healed > 0 {
+            MetricsLedger::bump_by(&self.metrics.partitions_healed, healed as u64);
+            network_dirty = true;
+        }
+        let burst_count = state.bursts.len();
+        state.bursts.retain(|&(_, _, until)| until > now);
+        if state.bursts.len() != burst_count {
+            network_dirty = true;
+        }
+
+        if network_dirty {
+            // Recompute from the base so overlapping effects compose and
+            // heal cleanly: bursts degrade every inter-domain pair, then
+            // partitions sever their pairs outright.
+            let mut topo = state.base.clone();
+            let n = topo.len() as u16;
+            for &(p, extra, _) in &state.bursts {
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j {
+                            let (a, b) = (DomainId(i), DomainId(j));
+                            topo.set_drop_prob(a, b, topo.drop_prob(a, b).max(p));
+                            topo.set_latency(a, b, topo.latency(a, b) + extra);
+                        }
+                    }
+                }
+            }
+            for &(a, b, _) in &state.partitions {
+                topo.set_drop_prob(a, b, 1.0);
+                topo.set_drop_prob(b, a, 1.0);
+            }
+            *self.topology.write() = topo;
+        }
+    }
+
+    /// Whether a partition currently severs the two domains.
+    pub fn is_partitioned(&self, a: DomainId, b: DomainId) -> bool {
+        self.chaos
+            .lock()
+            .as_ref()
+            .is_some_and(|s| {
+                s.partitions
+                    .iter()
+                    .any(|&(x, y, _)| (x == a && y == b) || (x == b && y == a))
+            })
     }
 }
 

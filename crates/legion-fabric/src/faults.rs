@@ -1,0 +1,295 @@
+//! Deterministic fault injection — the chaos side of the fabric.
+//!
+//! "Legion objects are built to accommodate failure at any step in the
+//! scheduling process" (§3.1). This module supplies the failures: a
+//! [`FaultPlan`] schedules host crashes and restarts, vault loss, domain
+//! partitions and message-degradation bursts at virtual times. The fabric
+//! applies due events at each tick ([`crate::Fabric::tick_all_hosts`]),
+//! counts every injection in the [`crate::MetricsLedger`], and heals
+//! partitions/bursts when their windows close.
+//!
+//! Plans are data, not callbacks, and the randomized builders draw from
+//! [`DetRng`] streams — the whole chaos run is reproducible from the one
+//! fabric seed.
+
+use crate::domain::DomainId;
+use crate::rng::DetRng;
+use legion_core::{Loid, SimDuration, SimTime};
+use rand::Rng;
+
+/// One injectable fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Fail-stop a host: volatile state is lost and every call answers
+    /// `HostDown` until the matching [`FaultAction::RestartHost`].
+    CrashHost(Loid),
+    /// Bring a crashed host back up with reclaimed (empty) resources.
+    RestartHost(Loid),
+    /// Remove a vault from the fabric; the OPRs it holds become
+    /// unreachable (permanently — vault loss does not heal).
+    LoseVault(Loid),
+    /// Cut both directions between two domains until `heal_at`: every
+    /// message between them is dropped. Indistinguishable from a crash
+    /// to anything on the far side.
+    Partition {
+        /// One side of the cut.
+        a: DomainId,
+        /// The other side.
+        b: DomainId,
+        /// When the partition heals.
+        heal_at: SimTime,
+    },
+    /// A burst of inter-domain message loss and added latency until
+    /// `until` (intra-domain traffic is unaffected).
+    DegradeLinks {
+        /// Loss probability applied to every inter-domain pair (takes
+        /// the maximum with the base topology's own loss).
+        drop_prob: f64,
+        /// Latency added to every inter-domain pair.
+        extra_latency: SimDuration,
+        /// When the burst ends.
+        until: SimTime,
+    },
+}
+
+/// A fault scheduled at a virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// Per-kind totals of the events in a plan, for checking the ledger's
+/// injected-fault counters against what was scheduled.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// `CrashHost` events.
+    pub host_crashes: u64,
+    /// `RestartHost` events.
+    pub host_restarts: u64,
+    /// `LoseVault` events.
+    pub vaults_lost: u64,
+    /// `Partition` events.
+    pub partitions: u64,
+    /// `DegradeLinks` events.
+    pub link_bursts: u64,
+}
+
+impl FaultCounts {
+    /// Sum over all kinds.
+    pub fn total(&self) -> u64 {
+        self.host_crashes
+            + self.host_restarts
+            + self.vaults_lost
+            + self.partitions
+            + self.link_bursts
+    }
+}
+
+/// A time-ordered schedule of faults to inject.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builder: schedule `action` at `at`.
+    pub fn at(mut self, at: SimTime, action: FaultAction) -> Self {
+        self.push(at, action);
+        self
+    }
+
+    /// Schedules `action` at `at`.
+    pub fn push(&mut self, at: SimTime, action: FaultAction) {
+        self.events.push(FaultEvent { at, action });
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// The scheduled events, in firing order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Totals by kind.
+    pub fn counts(&self) -> FaultCounts {
+        let mut c = FaultCounts::default();
+        for e in &self.events {
+            match e.action {
+                FaultAction::CrashHost(_) => c.host_crashes += 1,
+                FaultAction::RestartHost(_) => c.host_restarts += 1,
+                FaultAction::LoseVault(_) => c.vaults_lost += 1,
+                FaultAction::Partition { .. } => c.partitions += 1,
+                FaultAction::DegradeLinks { .. } => c.link_bursts += 1,
+            }
+        }
+        c
+    }
+
+    /// Random crash/restart churn: `crashes` crash events on hosts drawn
+    /// from `hosts`, uniformly placed in `(0, horizon)`, each followed by
+    /// a restart `down_for` later. Deterministic in the `rng` seed; a
+    /// host is never crashed again while still down.
+    pub fn random_churn(
+        rng: &DetRng,
+        hosts: &[Loid],
+        horizon: SimDuration,
+        crashes: usize,
+        down_for: SimDuration,
+    ) -> Self {
+        assert!(!hosts.is_empty(), "churn plan needs at least one host");
+        let mut r = rng.stream("fault-plan-churn");
+        let mut plan = FaultPlan::new();
+        // Last time each host comes back up, so crash windows never
+        // overlap on one host.
+        let mut up_at = vec![SimTime::ZERO; hosts.len()];
+        let horizon_us = horizon.as_micros().max(1);
+        for _ in 0..crashes {
+            let i = r.gen_range(0..hosts.len());
+            let t = SimTime::from_micros(r.gen_range(0..horizon_us));
+            let at = if t < up_at[i] { up_at[i] } else { t };
+            let back = at + down_for;
+            plan.push(at, FaultAction::CrashHost(hosts[i]));
+            plan.push(back, FaultAction::RestartHost(hosts[i]));
+            up_at[i] = back;
+        }
+        plan
+    }
+
+    /// Random transient partitions between distinct domain pairs drawn
+    /// from `0..n_domains`, uniformly placed in `(0, horizon)`, each
+    /// healing `lasting` later. Deterministic in the `rng` seed.
+    pub fn random_partitions(
+        rng: &DetRng,
+        n_domains: u16,
+        horizon: SimDuration,
+        partitions: usize,
+        lasting: SimDuration,
+    ) -> Self {
+        assert!(n_domains >= 2, "partitions need at least two domains");
+        let mut r = rng.stream("fault-plan-partitions");
+        let mut plan = FaultPlan::new();
+        let horizon_us = horizon.as_micros().max(1);
+        for _ in 0..partitions {
+            let a = r.gen_range(0..n_domains);
+            let mut b = r.gen_range(0..n_domains);
+            while b == a {
+                b = r.gen_range(0..n_domains);
+            }
+            let at = SimTime::from_micros(r.gen_range(0..horizon_us));
+            plan.push(
+                at,
+                FaultAction::Partition {
+                    a: DomainId(a),
+                    b: DomainId(b),
+                    heal_at: at + lasting,
+                },
+            );
+        }
+        plan
+    }
+
+    /// Merges another plan's events into this one.
+    pub fn merge(mut self, other: FaultPlan) -> Self {
+        self.events.extend(other.events);
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::LoidKind;
+
+    fn hosts(n: u64) -> Vec<Loid> {
+        (1..=n).map(|i| Loid::synthetic(LoidKind::Host, i)).collect()
+    }
+
+    #[test]
+    fn counts_match_events() {
+        let h = hosts(2);
+        let plan = FaultPlan::new()
+            .at(SimTime::from_secs(1), FaultAction::CrashHost(h[0]))
+            .at(SimTime::from_secs(5), FaultAction::RestartHost(h[0]))
+            .at(
+                SimTime::from_secs(2),
+                FaultAction::Partition {
+                    a: DomainId(0),
+                    b: DomainId(1),
+                    heal_at: SimTime::from_secs(4),
+                },
+            )
+            .at(SimTime::from_secs(3), FaultAction::LoseVault(Loid::synthetic(LoidKind::Vault, 1)));
+        let c = plan.counts();
+        assert_eq!(c.host_crashes, 1);
+        assert_eq!(c.host_restarts, 1);
+        assert_eq!(c.partitions, 1);
+        assert_eq!(c.vaults_lost, 1);
+        assert_eq!(c.link_bursts, 0);
+        assert_eq!(c.total(), 4);
+        // Events come back time-ordered regardless of insertion order.
+        let times: Vec<_> = plan.events().iter().map(|e| e.at).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_consistent() {
+        let rng = DetRng::new(77);
+        let h = hosts(4);
+        let a = FaultPlan::random_churn(&rng, &h, SimDuration::from_secs(600), 8, SimDuration::from_secs(60));
+        let b = FaultPlan::random_churn(&rng, &h, SimDuration::from_secs(600), 8, SimDuration::from_secs(60));
+        assert_eq!(a, b);
+        assert_eq!(a.counts().host_crashes, 8);
+        assert_eq!(a.counts().host_restarts, 8);
+        // Crash/restart alternate per host: a host is never crashed
+        // while already down.
+        for host in &h {
+            let mut down = false;
+            for e in a.events() {
+                match &e.action {
+                    FaultAction::CrashHost(l) if l == host => {
+                        assert!(!down, "host {host} crashed while down");
+                        down = true;
+                    }
+                    FaultAction::RestartHost(l) if l == host => {
+                        assert!(down, "host {host} restarted while up");
+                        down = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // A different seed yields a different plan.
+        let c = FaultPlan::random_churn(
+            &DetRng::new(78),
+            &h,
+            SimDuration::from_secs(600),
+            8,
+            SimDuration::from_secs(60),
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn partitions_pick_distinct_domains() {
+        let rng = DetRng::new(5);
+        let plan =
+            FaultPlan::random_partitions(&rng, 3, SimDuration::from_secs(600), 6, SimDuration::from_secs(90));
+        assert_eq!(plan.counts().partitions, 6);
+        for e in plan.events() {
+            if let FaultAction::Partition { a, b, heal_at } = &e.action {
+                assert_ne!(a, b);
+                assert!(*heal_at > e.at);
+            }
+        }
+    }
+}

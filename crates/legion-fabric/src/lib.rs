@@ -17,11 +17,13 @@
 pub mod clock;
 pub mod domain;
 pub mod fabric;
+pub mod faults;
 pub mod metrics;
 pub mod rng;
 
 pub use clock::VirtualClock;
 pub use domain::{Domain, DomainId, DomainTopology};
 pub use fabric::Fabric;
+pub use faults::{FaultAction, FaultCounts, FaultEvent, FaultPlan};
 pub use metrics::{MetricsLedger, MetricsSnapshot};
 pub use rng::DetRng;

@@ -96,6 +96,27 @@ counters! {
     schedules_reserved,
     /// `enact_schedule` object instantiations.
     enact_instantiations,
+    /// Enactor retries that slept through a backoff delay.
+    enactor_backoffs,
+    /// Fault-plan events injected by the fabric (all kinds).
+    faults_injected,
+    /// Host fail-stop crashes (injected or direct).
+    host_crashes,
+    /// Crashed hosts brought back up.
+    host_restarts,
+    /// Vaults lost (removed from the fabric) by fault injection.
+    vaults_lost,
+    /// Domain partitions begun.
+    partitions_started,
+    /// Domain partitions healed.
+    partitions_healed,
+    /// Inter-domain degradation bursts begun.
+    link_bursts,
+    /// Objects restarted from their vault OPR by a Monitor after a
+    /// host crash (§2.1 shutdown/restart).
+    monitor_restarts,
+    /// Collection records evicted as stale (dead-host TTL).
+    collection_evictions,
 }
 
 impl MetricsLedger {

@@ -183,6 +183,31 @@ impl HostObject for BatchQueueHost {
         attrs
     }
 
+    fn crash(&self) {
+        // Jobs die with the machine: drop every queued/running job,
+        // then fail-stop the wrapped host.
+        let objects = self.inner.running_objects();
+        {
+            let mut q = self.queue.lock();
+            for o in objects {
+                q.remove(o);
+            }
+        }
+        self.inner.crash();
+    }
+
+    fn restart(&self, now: SimTime) {
+        self.inner.restart(now)
+    }
+
+    fn is_crashed(&self) -> bool {
+        self.inner.is_crashed()
+    }
+
+    fn probe(&self, now: SimTime) -> Result<(), LegionError> {
+        self.inner.probe(now)
+    }
+
     fn register_trigger(&self, trigger: Trigger) -> TriggerId {
         self.inner.register_trigger(trigger)
     }

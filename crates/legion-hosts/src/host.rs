@@ -131,6 +131,7 @@ pub struct StandardHost {
     attrs_cache: RwLock<AttributeDb>,
     metrics: RwLock<Option<Arc<MetricsLedger>>>,
     draining: std::sync::atomic::AtomicBool,
+    crashed: std::sync::atomic::AtomicBool,
 }
 
 impl StandardHost {
@@ -167,6 +168,7 @@ impl StandardHost {
             attrs_cache: RwLock::new(AttributeDb::new()),
             metrics: RwLock::new(None),
             draining: std::sync::atomic::AtomicBool::new(false),
+            crashed: std::sync::atomic::AtomicBool::new(false),
             config,
         };
         let host = Arc::new(host);
@@ -215,6 +217,16 @@ impl StandardHost {
     /// Whether the host is draining for shutdown.
     pub fn is_draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
+    }
+
+    /// Fails with `HostDown` while the host is crashed; every RMI entry
+    /// point calls this first, so a dead host answers nothing.
+    fn ensure_up(&self) -> Result<(), LegionError> {
+        if self.crashed.load(Ordering::Acquire) {
+            Err(LegionError::HostDown(self.loid))
+        } else {
+            Ok(())
+        }
     }
 
     fn bump(&self, f: impl FnOnce(&MetricsLedger)) {
@@ -293,6 +305,7 @@ impl HostObject for StandardHost {
         req: &ReservationRequest,
         now: SimTime,
     ) -> Result<ReservationToken, LegionError> {
+        self.ensure_up()?;
         self.bump(|m| MetricsLedger::bump(&m.reservation_requests));
 
         // 0. A draining host accepts nothing new.
@@ -344,10 +357,12 @@ impl HostObject for StandardHost {
         token: &ReservationToken,
         now: SimTime,
     ) -> Result<ReservationStatus, LegionError> {
+        self.ensure_up()?;
         self.table.lock().check(token, now)
     }
 
     fn cancel_reservation(&self, token: &ReservationToken) -> Result<(), LegionError> {
+        self.ensure_up()?;
         self.table.lock().cancel(token)?;
         self.bump(|m| MetricsLedger::bump(&m.reservations_cancelled));
         Ok(())
@@ -359,6 +374,7 @@ impl HostObject for StandardHost {
         specs: &[ObjectSpec],
         now: SimTime,
     ) -> Result<Vec<Loid>, LegionError> {
+        self.ensure_up()?;
         if specs.is_empty() {
             return Err(LegionError::Other("start_object with no specs".into()));
         }
@@ -381,6 +397,7 @@ impl HostObject for StandardHost {
 
         let per_obj_cpu = (token.cpu_centis / specs.len() as u32).max(1);
         let mut started = Vec::with_capacity(specs.len());
+        let vault = self.vaults.lookup_vault(token.vault);
         {
             let mut running = self.running.write();
             for spec in specs {
@@ -389,6 +406,20 @@ impl HostObject for StandardHost {
                 } else {
                     spec.instance
                 };
+                // Checkpoint at birth (§2.1): seed the vault with an
+                // initial OPR so a Monitor can restart the object from
+                // passive state if this host fail-stops before its first
+                // deactivation. Best-effort — a full vault degrades to
+                // the pre-checkpoint (unrecoverable) behaviour.
+                let mut version = 0;
+                if let Some(v) = &vault {
+                    let opr = Opr::new(instance, spec.class, now, spec.initial_state.clone())
+                        .with_memory_mb(spec.memory_mb)
+                        .with_cpu_centis(per_obj_cpu);
+                    if v.store_opr(opr).is_ok() {
+                        version = 1;
+                    }
+                }
                 running.insert(
                     instance,
                     RunningObject {
@@ -397,7 +428,7 @@ impl HostObject for StandardHost {
                         memory_mb: spec.memory_mb,
                         cpu_centis: per_obj_cpu,
                         state: spec.initial_state.clone(),
-                        version: 0,
+                        version,
                         token_serial: token.serial,
                     },
                 );
@@ -410,6 +441,7 @@ impl HostObject for StandardHost {
     }
 
     fn kill_object(&self, object: Loid) -> Result<(), LegionError> {
+        self.ensure_up()?;
         let removed = {
             let mut running = self.running.write();
             running.remove(&object).ok_or(LegionError::NoSuchObject(object))?
@@ -423,11 +455,17 @@ impl HostObject for StandardHost {
         if !serial_in_use {
             self.table.lock().release(removed.token_serial);
         }
+        // Drop the checkpoint OPR: a killed object must not be
+        // resurrected by the Monitor's crash-recovery sweep.
+        if let Some(v) = self.vaults.lookup_vault(removed.vault) {
+            let _ = v.delete_opr(object);
+        }
         self.bump(|m| MetricsLedger::bump(&m.objects_killed));
         Ok(())
     }
 
     fn deactivate_object(&self, object: Loid, now: SimTime) -> Result<Opr, LegionError> {
+        self.ensure_up()?;
         let obj = {
             let running = self.running.read();
             running.get(&object).cloned().ok_or(LegionError::NoSuchObject(object))?
@@ -455,6 +493,7 @@ impl HostObject for StandardHost {
     }
 
     fn reactivate_object(&self, opr: &Opr, now: SimTime) -> Result<(), LegionError> {
+        self.ensure_up()?;
         // Find a compatible vault actually holding the OPR — reactivation
         // is driven by access, the host locates the passive state.
         let vault_loid = self
@@ -498,6 +537,9 @@ impl HostObject for StandardHost {
     }
 
     fn vault_ok(&self, vault: Loid) -> bool {
+        if self.crashed.load(Ordering::Acquire) {
+            return false;
+        }
         self.vaults
             .lookup_vault(vault)
             .is_some_and(|v| v.compatible_with_host(&self.attrs_cache.read()))
@@ -521,7 +563,44 @@ impl HostObject for StandardHost {
         self.outcalls.write().push(outcall);
     }
 
+    fn crash(&self) {
+        if self.crashed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Volatile state is lost: running objects vanish and every live
+        // reservation lapses. OPR checkpoints in the vaults survive —
+        // they are the Monitor's recovery material.
+        self.running.write().clear();
+        self.table.lock().expire_all();
+        self.bump(|m| MetricsLedger::bump(&m.host_crashes));
+    }
+
+    fn restart(&self, now: SimTime) {
+        if !self.crashed.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        // The running map and reservation table were emptied at crash
+        // time, so the machine comes back with reclaimed resources;
+        // republish fresh attributes so schedulers see it as idle.
+        self.refresh_attrs(now);
+        self.bump(|m| MetricsLedger::bump(&m.host_restarts));
+    }
+
+    fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+
+    fn probe(&self, _now: SimTime) -> Result<(), LegionError> {
+        self.ensure_up()
+    }
+
     fn reassess(&self, now: SimTime) -> Vec<Event> {
+        // A crashed host is silent: no load sampling, no trigger
+        // evaluation, no outcall notifications. The Monitor perceives
+        // the crash only as missed reports.
+        if self.crashed.load(Ordering::Acquire) {
+            return Vec::new();
+        }
         // Advance the background load and expire lapsed reservations.
         self.load.lock().sample(now);
         let expired = self.table.lock().sweep(now);

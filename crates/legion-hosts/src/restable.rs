@@ -231,6 +231,22 @@ impl ReservationTable {
         }
     }
 
+    /// Expires every live entry at once: the host fail-stopped and its
+    /// volatile reservation state is gone. The minter (and thus the
+    /// serial counter) survives, so tokens granted after a restart can
+    /// never collide with a pre-crash serial — a stale token presented
+    /// later fails with `ReservationExpired`, not a false match.
+    pub fn expire_all(&mut self) -> usize {
+        let mut n = 0;
+        for e in self.entries.values_mut() {
+            if e.holds() {
+                e.state = EntryState::Expired;
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// Expires lapsed entries; returns the tokens that expired this sweep.
     pub fn sweep(&mut self, now: SimTime) -> Vec<ReservationToken> {
         let mut expired = Vec::new();

@@ -21,7 +21,9 @@
 pub mod migrate;
 pub mod monitor;
 pub mod rebalance;
+pub mod watchdog;
 
 pub use migrate::{migrate_object, MigrationRecord};
 pub use monitor::Monitor;
 pub use rebalance::Rebalancer;
+pub use watchdog::{RestartRecord, Watchdog};

@@ -34,11 +34,15 @@ use crate::schedule::{
 };
 use legion_core::{
     LegionError, Loid, LoidKind, Placement, PlacementContext, ReservationRequest,
-    ReservationToken, ReservationType, SimDuration,
+    ReservationStatus, ReservationToken, ReservationType, SimDuration, SimTime,
 };
 use legion_fabric::{Fabric, MetricsLedger};
 use std::collections::HashSet;
 use std::sync::Arc;
+
+/// A successfully reserved schedule: the variant index used (`None` for
+/// the master), the effective mappings, and the tokens held for them.
+type ReservedSchedule = (Option<usize>, Vec<Mapping>, Vec<ReservationToken>);
 
 /// Enactor tuning knobs.
 #[derive(Debug, Clone)]
@@ -61,6 +65,18 @@ pub struct EnactorConfig {
     pub atomic_enact: bool,
     /// Domain presented to host autonomy policies.
     pub requester_domain: Option<String>,
+    /// First retry delay when failures are transient and no variant
+    /// remains to switch to. Doubles per retry (capped); the wait
+    /// advances the virtual clock.
+    pub backoff_base: SimDuration,
+    /// Upper bound on a single backoff delay.
+    pub backoff_cap: SimDuration,
+    /// Total virtual-time budget for one `make_reservations` call,
+    /// measured from its start. `None` leaves only `max_attempts` as
+    /// the bound. When the budget lapses the request fails with
+    /// [`FailureClass::DeadlineExceeded`] instead of burning the
+    /// remaining attempts.
+    pub deadline: Option<SimDuration>,
 }
 
 impl Default for EnactorConfig {
@@ -73,6 +89,9 @@ impl Default for EnactorConfig {
             bitmap_walk: true,
             atomic_enact: true,
             requester_domain: None,
+            backoff_base: SimDuration::from_millis(500),
+            backoff_cap: SimDuration::from_secs(15),
+            deadline: None,
         }
     }
 }
@@ -170,9 +189,14 @@ impl Enactor {
             };
         }
 
+        let deadline = self
+            .config
+            .deadline
+            .map(|budget| self.fabric.clock().now() + budget);
+        let mut failure = FailureClass::ResourceUnavailable;
         for (si, sched) in request.schedules.iter().enumerate() {
-            match self.reserve_schedule(sched) {
-                Some((variant, mappings, tokens)) => {
+            match self.reserve_schedule(sched, deadline) {
+                Ok((variant, mappings, tokens)) => {
                     MetricsLedger::bump(&self.metrics().schedules_reserved);
                     return ScheduleFeedback {
                         request: request.clone(),
@@ -181,24 +205,40 @@ impl Enactor {
                         mappings,
                     };
                 }
-                None => continue,
+                Err(FailureClass::DeadlineExceeded) => {
+                    // The budget is per request, not per schedule — stop.
+                    failure = FailureClass::DeadlineExceeded;
+                    break;
+                }
+                Err(fc) => failure = fc,
             }
         }
 
         ScheduleFeedback {
             request: request.clone(),
-            outcome: ScheduleOutcome::Failed(FailureClass::ResourceUnavailable),
+            outcome: ScheduleOutcome::Failed(failure),
             reservations: Vec::new(),
             mappings: Vec::new(),
         }
     }
 
-    /// Tries a master and its variants; on success returns the variant
-    /// index used, the effective mappings and their tokens.
+    /// Tries a master and its variants; on success returns the
+    /// [`ReservedSchedule`] (variant index used, effective mappings and
+    /// their tokens); on failure the class of the failure.
+    ///
+    /// When failures are transient and no untried variant covers the
+    /// failed positions, the Enactor waits out a capped exponential
+    /// backoff (with deterministic jitter, advancing the virtual clock)
+    /// and retries the same mappings — contention and network weather
+    /// pass. Failures that are *permanent for their host* (`HostDown`,
+    /// `NoSuchHost`) are never retried in place: with no variant left to
+    /// move to, the attempt is abandoned immediately instead of burning
+    /// `max_attempts` against a dead machine.
     fn reserve_schedule(
         &self,
         sched: &ScheduleRequest,
-    ) -> Option<(Option<usize>, Vec<Mapping>, Vec<ReservationToken>)> {
+        deadline: Option<SimTime>,
+    ) -> Result<ReservedSchedule, FailureClass> {
         let n = sched.master.len();
         let mut current: Vec<Mapping> = sched.master.mappings.clone();
         let mut held: Vec<Option<ReservationToken>> = vec![None; n];
@@ -209,14 +249,50 @@ impl Enactor {
         let mut attempts = 0usize;
         // `None` = the pure master; `Some(vi)` = variant vi.
         let mut plan: Option<usize> = None;
+        let mut backoff = self.config.backoff_base;
+        // Jitter stream derived from the fabric seed and the virtual
+        // start time: deterministic for a given run, decorrelated
+        // between requests.
+        let mut jitter_rng = self
+            .fabric
+            .rng()
+            .stream_indexed("enactor-backoff", self.fabric.clock().now().as_micros());
+        let mut failure;
+        let mut slept = false;
 
         loop {
+            if deadline.is_some_and(|d| self.fabric.clock().now() >= d) {
+                failure = FailureClass::DeadlineExceeded;
+                break;
+            }
             attempts += 1;
             MetricsLedger::bump(&self.metrics().schedules_attempted);
 
+            // A backoff may have outlived a held token's confirmation
+            // timeout — drop any hold that is no longer live so the
+            // position is refilled instead of enacted with a dead token.
+            if slept {
+                slept = false;
+                for slot in held.iter_mut() {
+                    let live = slot.as_ref().is_some_and(|tok| {
+                        self.fabric.link(self.loid, tok.host).is_ok()
+                            && self.fabric.lookup_host(tok.host).is_some_and(|h| {
+                                matches!(
+                                    h.check_reservation(tok, self.fabric.clock().now()),
+                                    Ok(ReservationStatus::Pending | ReservationStatus::Active)
+                                )
+                            })
+                    });
+                    if slot.is_some() && !live {
+                        *slot = None;
+                    }
+                }
+            }
+
             // Fill every position lacking a token under the current
-            // mapping; remember which positions fail.
+            // mapping; remember which positions fail and why.
             let mut failed: Vec<usize> = Vec::new();
+            let mut errors: Vec<LegionError> = Vec::new();
             for i in 0..n {
                 if held[i].is_some() {
                     continue;
@@ -226,15 +302,18 @@ impl Enactor {
                 }
                 match self.reserve_one(&current[i]) {
                     Ok(tok) => held[i] = Some(tok),
-                    Err(e) if e.is_retryable() => failed.push(i),
-                    Err(_) => failed.push(i),
+                    Err(e) => {
+                        failed.push(i);
+                        errors.push(e);
+                    }
                 }
             }
 
             if failed.is_empty() {
                 let tokens = held.into_iter().map(|t| t.expect("all positions held")).collect();
-                return Some((plan, current, tokens));
+                return Ok((plan, current, tokens));
             }
+            failure = Self::classify_attempt(&errors);
 
             if attempts >= self.config.max_attempts {
                 break;
@@ -243,7 +322,31 @@ impl Enactor {
             // Select the next variant: prefer one covering *all* failed
             // positions, then one covering any, then any untried.
             let next = self.pick_variant(sched, &tried_variants, &failed);
-            let Some(vi) = next else { break };
+            let Some(vi) = next else {
+                // No variant left to switch to. Only network weather
+                // (message drops, partitions) is worth waiting out in
+                // place: capacity denials won't change within one
+                // request's horizon, and dead hosts stay dead —
+                // retrying identical mappings there just burns the
+                // remaining attempts.
+                if !errors.iter().any(|e| matches!(e, LegionError::NetworkFailure { .. })) {
+                    break;
+                }
+                // Wait out a capped, jittered backoff (within the
+                // deadline budget) and retry the same mappings.
+                let delay = self.jittered(backoff, &mut jitter_rng);
+                if deadline.is_some_and(|d| self.fabric.clock().now() + delay >= d) {
+                    failure = FailureClass::DeadlineExceeded;
+                    break;
+                }
+                self.fabric.clock().advance(delay);
+                MetricsLedger::bump(&self.metrics().enactor_backoffs);
+                backoff = SimDuration::from_micros(
+                    (backoff.as_micros() * 2).min(self.config.backoff_cap.as_micros()),
+                );
+                slept = true;
+                continue;
+            };
             tried_variants[vi] = true;
             plan = Some(vi);
 
@@ -278,7 +381,28 @@ impl Enactor {
         for tok in held.into_iter().flatten() {
             self.cancel_one(&tok);
         }
-        None
+        Err(failure)
+    }
+
+    /// The class reported for one failed fill pass: all-dead-hosts is
+    /// `HostDown`; otherwise the first error that is not a dead host
+    /// sets the class (resource denials dominate infrastructure noise).
+    fn classify_attempt(errors: &[LegionError]) -> FailureClass {
+        if !errors.is_empty() && errors.iter().all(|e| e.is_permanent_for_host()) {
+            return FailureClass::HostDown;
+        }
+        errors
+            .iter()
+            .find(|e| !e.is_permanent_for_host())
+            .map(FailureClass::classify)
+            .unwrap_or(FailureClass::ResourceUnavailable)
+    }
+
+    /// Half-to-full jitter on a backoff delay, from the fabric stream.
+    fn jittered(&self, backoff: SimDuration, rng: &mut rand::rngs::SmallRng) -> SimDuration {
+        use rand::Rng;
+        let us = backoff.as_micros().max(2);
+        SimDuration::from_micros(us / 2 + rng.gen_range(0..=us / 2))
     }
 
     /// Bitmap-guided variant selection.

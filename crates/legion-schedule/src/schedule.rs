@@ -217,6 +217,36 @@ pub enum FailureClass {
     Malformed(String),
     /// Infrastructure failure (network, missing objects).
     Infrastructure,
+    /// Every remaining candidate host was down — fail-stop crash or
+    /// unreachable behind a partition. Retrying the same mappings
+    /// cannot succeed; reschedule against live hosts.
+    HostDown,
+    /// The request's deadline budget lapsed before any schedule fully
+    /// reserved (backoff delays count against the budget).
+    DeadlineExceeded,
+}
+
+impl FailureClass {
+    /// Buckets a [`LegionError`] into the class the Enactor reports.
+    pub fn classify(e: &LegionError) -> FailureClass {
+        match e {
+            LegionError::HostDown(_) | LegionError::NoSuchHost(_) => FailureClass::HostDown,
+            LegionError::MalformedSchedule(why) => FailureClass::Malformed(why.clone()),
+            LegionError::NetworkFailure { .. }
+            | LegionError::NoSuchVault(_)
+            | LegionError::NoSuchOpr(_)
+            | LegionError::NoSuchObject(_) => FailureClass::Infrastructure,
+            _ => FailureClass::ResourceUnavailable,
+        }
+    }
+
+    /// Whether resubmitting the same request later can succeed without
+    /// recomputing the schedule: transient classes (contention, network
+    /// weather, crashed-but-restartable hosts, lapsed deadlines) are
+    /// worth a retry; a malformed schedule never is.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, FailureClass::Malformed(_))
+    }
 }
 
 /// The outcome reported in feedback.

@@ -57,7 +57,10 @@ fn block_all(hosts: &[Arc<StandardHost>], class: Loid, fabric: &Arc<Fabric>) {
 #[test]
 fn driver_reports_generation_and_round_counts() {
     let (fabric, ctx, _hosts, class) = bed(4, 1);
-    let scheduler = RandomScheduler::new(2);
+    // Seed chosen so the first generation maps the two instances to
+    // distinct hosts (full-machine demand: a same-host pair can never
+    // reserve, and this test wants the happy path).
+    let scheduler = RandomScheduler::new(0);
     let enactor = Enactor::new(fabric.clone());
     let driver = ScheduleDriver::new(&scheduler, &enactor);
     let report = driver.place(&PlacementRequest::new().class(class, 2), &ctx).unwrap();

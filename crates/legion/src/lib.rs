@@ -104,9 +104,11 @@ pub mod prelude {
         ObjectImplementation, PlacementContext, PlacementRequest, ReservationRequest,
         ReservationType, SimDuration, SimTime, VaultObject,
     };
-    pub use legion_fabric::{DomainId, DomainTopology, Fabric};
+    pub use legion_fabric::{
+        DomainId, DomainTopology, Fabric, FaultAction, FaultCounts, FaultPlan,
+    };
     pub use legion_hosts::{BatchQueueHost, HostConfig, StandardHost};
-    pub use legion_monitor::{migrate_object, Monitor, Rebalancer};
+    pub use legion_monitor::{migrate_object, Monitor, Rebalancer, Watchdog};
     pub use legion_schedule::{Enactor, EnactorConfig, Mapping, ScheduleRequestList};
     pub use legion_network::{NetworkBroker, NetworkDirectory, NetworkObject};
     pub use legion_schedulers::{

@@ -84,7 +84,17 @@ fn lossy_wan_is_survivable_with_variants() {
                     sched = sched.with_variant(VariantSchedule::replacing(3, &repl));
                 }
             }
-            let enactor = Enactor::new(tb.fabric.clone());
+            // A tight deadline budget keeps the Enactor from riding out
+            // the loss with in-place backoff retries (which would rescue
+            // the master-only case too) — this test isolates what
+            // *schedule diversity* recovers.
+            let enactor = Enactor::with_config(
+                tb.fabric.clone(),
+                EnactorConfig {
+                    deadline: Some(SimDuration::from_millis(1)),
+                    ..Default::default()
+                },
+            );
             let fb =
                 enactor.make_reservations(&ScheduleRequestList { schedules: vec![sched] });
             if fb.reserved() {

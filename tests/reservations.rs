@@ -123,6 +123,79 @@ fn tokens_do_not_transfer_between_hosts() {
 }
 
 #[test]
+fn unconfirmed_reservation_is_reclaimed_and_stale_token_refused() {
+    // §3.1 / Table 2: an instantaneous reservation not confirmed by
+    // StartObject within the timeout is reclaimed — the capacity must be
+    // grantable to someone else, and the stale token must stay dead.
+    let (tb, class) = bed();
+    let host = &tb.unix_hosts[0];
+    let vault = host.get_compatible_vaults()[0];
+
+    // Hold the whole 4-CPU machine, unconfirmed.
+    let all = ReservationRequest::instantaneous(class, vault, SimDuration::from_secs(600))
+        .with_demand(400, 512);
+    let stale = host.make_reservation(&all, tb.fabric.clock().now()).unwrap();
+    // While held, a competing full-machine request is refused.
+    assert!(host.make_reservation(&all, tb.fabric.clock().now()).is_err());
+
+    // Confirmation timeout (30s default) lapses; the sweep reclaims.
+    let later = tb.fabric.clock().advance(SimDuration::from_secs(40));
+    host.reassess(later);
+
+    // The capacity is someone else's for the taking...
+    let tok2 = host.make_reservation(&all, later).unwrap();
+    // ...and the stale token is refused at every entry point.
+    assert!(matches!(
+        host.start_object(&stale, &[ObjectSpec::new(class)], later),
+        Err(LegionError::ReservationExpired)
+    ));
+    assert_eq!(
+        host.check_reservation(&stale, later).unwrap(),
+        legion::core::ReservationStatus::Expired
+    );
+    // The fresh token still works.
+    host.start_object(&tok2, &[ObjectSpec::new(class)], later).unwrap();
+}
+
+#[test]
+fn crash_expires_reservations_and_restart_reclaims_resources() {
+    // A fail-stopped host loses its volatile reservation state; tokens
+    // granted before the crash must not be honoured after restart, and
+    // the restarted host must have its full capacity back.
+    let (tb, class) = bed();
+    let host = &tb.unix_hosts[0];
+    let vault = host.get_compatible_vaults()[0];
+    let all = ReservationRequest::instantaneous(class, vault, SimDuration::from_secs(600))
+        .with_demand(400, 512);
+    let pre_crash = host.make_reservation(&all, tb.fabric.clock().now()).unwrap();
+
+    host.crash();
+    // Down: every call answers HostDown.
+    assert!(matches!(
+        host.make_reservation(&all, tb.fabric.clock().now()),
+        Err(LegionError::HostDown(_))
+    ));
+    assert!(matches!(
+        host.start_object(&pre_crash, &[ObjectSpec::new(class)], tb.fabric.clock().now()),
+        Err(LegionError::HostDown(_))
+    ));
+
+    let later = tb.fabric.clock().advance(SimDuration::from_secs(60));
+    host.restart(later);
+
+    // Resources reclaimed: the full machine is grantable again.
+    let fresh = host.make_reservation(&all, later).unwrap();
+    // The pre-crash token fails deterministically — the serial counter
+    // survives the crash, so it can never be confused with a new grant.
+    assert!(matches!(
+        host.start_object(&pre_crash, &[ObjectSpec::new(class)], later),
+        Err(LegionError::ReservationExpired)
+    ));
+    assert_ne!(fresh.serial, pre_crash.serial, "serials must never collide");
+    host.start_object(&fresh, &[ObjectSpec::new(class)], later).unwrap();
+}
+
+#[test]
 fn expired_reservations_raise_events() {
     let (tb, class) = bed();
     let host = &tb.unix_hosts[0];

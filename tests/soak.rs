@@ -93,8 +93,13 @@ fn soak_federation_under_churn() {
     // Bookkeeping closes: objects started minus killed, with migrations
     // (deactivate + reactivate) cancelling out, equals the live set.
     assert_eq!(
-        m.objects_started - killed_total - m.objects_deactivated + m.objects_reactivated,
+        m.objects_started + m.objects_reactivated - killed_total - m.objects_deactivated,
         live.len() as u64,
-        "object conservation"
+        "object conservation: started={} reactivated={} killed={killed_total} \
+         deactivated={} live={}",
+        m.objects_started,
+        m.objects_reactivated,
+        m.objects_deactivated,
+        live.len()
     );
 }

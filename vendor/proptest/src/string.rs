@@ -1,0 +1,165 @@
+//! String generation from a small regex-like pattern language.
+//!
+//! Supports exactly the pattern shapes used by this workspace's
+//! property tests: a sequence of units, where each unit is a character
+//! class `[...]` (with ranges, escapes, and a literal trailing `-`),
+//! the printable-character class `\PC`, or a literal character; each
+//! unit may carry an `{n}` or `{m,n}` repetition count.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Unit {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    // `chars[i]` is the first char after '['.
+    let mut out = Vec::new();
+    let mut pending: Option<char> = None;
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 1;
+            chars[i]
+        } else if chars[i] == '-'
+            && pending.is_some()
+            && i + 1 < chars.len()
+            && chars[i + 1] != ']'
+        {
+            // Range: flush `pending..=hi`.
+            let lo = pending.take().expect("checked");
+            i += 1;
+            let hi = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            assert!(lo <= hi, "invalid class range {lo}-{hi}");
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 1;
+            continue;
+        } else {
+            chars[i]
+        };
+        if let Some(p) = pending.replace(c) {
+            out.push(p);
+        }
+        i += 1;
+    }
+    assert!(i < chars.len(), "unterminated character class");
+    if let Some(p) = pending {
+        out.push(p);
+    }
+    (out, i + 1) // skip ']'
+}
+
+fn parse_count(chars: &[char], mut i: usize) -> (usize, usize, usize) {
+    // `chars[i]` is the char after the unit; parse optional {m[,n]}.
+    if i >= chars.len() || chars[i] != '{' {
+        return (1, 1, i);
+    }
+    i += 1;
+    let mut min = 0usize;
+    while i < chars.len() && chars[i].is_ascii_digit() {
+        min = min * 10 + chars[i] as usize - '0' as usize;
+        i += 1;
+    }
+    let max = if i < chars.len() && chars[i] == ',' {
+        i += 1;
+        let mut m = 0usize;
+        while i < chars.len() && chars[i].is_ascii_digit() {
+            m = m * 10 + chars[i] as usize - '0' as usize;
+            i += 1;
+        }
+        m
+    } else {
+        min
+    };
+    assert!(i < chars.len() && chars[i] == '}', "unterminated repetition");
+    (min, max, i + 1)
+}
+
+fn parse(pattern: &str) -> Vec<Unit> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let (set, next) = match chars[i] {
+            '[' => parse_class(&chars, i + 1),
+            '\\' if i + 2 < chars.len() && chars[i + 1] == 'P' && chars[i + 2] == 'C' => {
+                // \PC: any non-control character; printable ASCII here.
+                ((' '..='~').collect(), i + 3)
+            }
+            '\\' if i + 1 < chars.len() => (vec![chars[i + 1]], i + 2),
+            c => (vec![c], i + 1),
+        };
+        let (min, max, next) = parse_count(&chars, next);
+        assert!(min <= max, "invalid repetition in {pattern}");
+        assert!(!set.is_empty(), "empty character class in {pattern}");
+        units.push(Unit { chars: set, min, max });
+        i = next;
+    }
+    units
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for unit in parse(pattern) {
+        let count = unit.min + rng.below((unit.max - unit.min + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(unit.chars[rng.below(unit.chars.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        generate_from_pattern(pattern, &mut TestRng::new(seed))
+    }
+
+    #[test]
+    fn classes_and_counts() {
+        for seed in 0..200 {
+            let s = gen("[a-c]{1,4}", seed);
+            assert!((1..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+
+            let s = gen("[ab]", seed);
+            assert_eq!(s.len(), 1);
+            assert!(s == "a" || s == "b");
+
+            let s = gen("\\PC{0,20}", seed);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_and_trailing_dash() {
+        for seed in 0..200 {
+            let s = gen("[a-zA-Z0-9 .*+?()\\[\\]{}|^$\\\\-]{0,40}", seed);
+            assert!(s.len() <= 40);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric() || " .*+?()[]{}|^$\\-".contains(c),
+                    "unexpected {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(gen("[a-z]{0,10}", 7), gen("[a-z]{0,10}", 7));
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic case runner and its RNG.
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's inputs violated an assumption; draw another case.
+    Reject,
+    /// The property is false for these inputs.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic generator used to drive strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a case seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Combines the base seed with a case index into a case seed.
+pub fn mix(base: u64, case: u64) -> u64 {
+    let mut z = base ^ case.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    z = (z ^ (z >> 33)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    z ^ (z >> 33)
+}
+
+/// Runs one property over `config.cases` accepted cases. All case seeds
+/// derive from a single base seed (`PROPTEST_SEED` env var, or a fixed
+/// default), and that seed is reported on any failure or panic so the
+/// run can be reproduced exactly.
+pub fn run<F>(name: &str, config: &ProptestConfig, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base_seed: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x4c45_4749_4f4e_0001); // "LEGION" + 1
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = (config.cases as u64).saturating_mul(20).max(20);
+    while accepted < config.cases && attempts < max_attempts {
+        attempts += 1;
+        let case_seed = mix(base_seed, attempts);
+        let mut rng = TestRng::new(case_seed);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject)) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "[{name}] property failed at case {attempts} \
+                     (base seed {base_seed}, case seed {case_seed}; \
+                     rerun with PROPTEST_SEED={base_seed}): {msg}"
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "[{name}] property panicked at case {attempts} \
+                     (base seed {base_seed}, case seed {case_seed}; \
+                     rerun with PROPTEST_SEED={base_seed})"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace never serializes at runtime; these derives exist so
+//! `#[derive(Serialize, Deserialize)]` and field-level `#[serde(...)]`
+//! attributes compile. They intentionally expand to nothing: the types
+//! simply do not implement the (equally stubbed) serde traits, which no
+//! code path requires.
+
+use proc_macro::TokenStream;
+
+/// Accepts the input and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the input and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
