@@ -16,7 +16,9 @@
 //! Legion authenticate the caller to be sure that it is allowed to update
 //! the data in the Collection" (§3.2).
 
+use crate::index::AttributeIndexes;
 use crate::inject::DerivedAttribute;
+use crate::planner;
 use crate::query::{parse_query, Query};
 use crate::record::CollectionRecord;
 use legion_core::hash::KeyedTag;
@@ -25,6 +27,54 @@ use legion_fabric::MetricsLedger;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Records plus the secondary indexes over them, under one lock so the
+/// two can never drift apart.
+#[derive(Default)]
+struct Store {
+    /// Member → shared record snapshot. Queries clone the `Arc`, not
+    /// the record, so results share structure with the store; mutation
+    /// goes through [`Arc::make_mut`] and copies only when a past query
+    /// result still holds the snapshot.
+    records: BTreeMap<Loid, Arc<CollectionRecord>>,
+    /// Per-attribute string/numeric/presence indexes, maintained
+    /// incrementally on every join/update/replace/leave/evict.
+    indexes: AttributeIndexes,
+}
+
+impl Store {
+    fn insert(&mut self, record: CollectionRecord) {
+        let member = record.member;
+        if let Some(old) = self.records.remove(&member) {
+            self.indexes.remove(member, &old.attrs);
+        }
+        self.indexes.insert(member, &record.attrs);
+        self.records.insert(member, Arc::new(record));
+    }
+
+    fn remove(&mut self, member: Loid) -> Option<Arc<CollectionRecord>> {
+        let old = self.records.remove(&member)?;
+        self.indexes.remove(member, &old.attrs);
+        Some(old)
+    }
+
+    /// Mutates `member`'s attributes in place (copy-on-write against
+    /// outstanding query results), keeping the indexes in sync.
+    fn mutate_attrs(
+        &mut self,
+        member: Loid,
+        now: SimTime,
+        f: impl FnOnce(&mut AttributeDb),
+    ) -> Result<(), LegionError> {
+        let rec = self.records.get_mut(&member).ok_or(LegionError::NoSuchObject(member))?;
+        self.indexes.remove(member, &rec.attrs);
+        let rec = Arc::make_mut(rec);
+        f(&mut rec.attrs);
+        rec.updated_at = now;
+        self.indexes.insert(member, &rec.attrs);
+        Ok(())
+    }
+}
 
 /// Proof of membership returned by `join`, required for updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +116,7 @@ pub struct MemberCredential {
 pub struct Collection {
     loid: Loid,
     secret: u64,
-    records: RwLock<BTreeMap<Loid, CollectionRecord>>,
+    store: RwLock<Store>,
     derived: RwLock<Vec<DerivedAttribute>>,
     metrics: RwLock<Option<Arc<MetricsLedger>>>,
 }
@@ -77,7 +127,7 @@ impl Collection {
         Arc::new(Collection {
             loid: Loid::fresh(LoidKind::Service),
             secret,
-            records: RwLock::new(BTreeMap::new()),
+            store: RwLock::new(Store::default()),
             derived: RwLock::new(Vec::new()),
             metrics: RwLock::new(None),
         })
@@ -125,9 +175,7 @@ impl Collection {
         attrs: AttributeDb,
         now: SimTime,
     ) -> MemberCredential {
-        self.records
-            .write()
-            .insert(joiner, CollectionRecord::new(joiner, attrs, now));
+        self.store.write().insert(CollectionRecord::new(joiner, attrs, now));
         self.bump(|m| MetricsLedger::bump(&m.collection_updates));
         self.credential_for(joiner)
     }
@@ -135,9 +183,9 @@ impl Collection {
     /// `LeaveCollection(LOID)`.
     pub fn leave(&self, cred: &MemberCredential) -> Result<(), LegionError> {
         self.authenticate(cred)?;
-        self.records
+        self.store
             .write()
-            .remove(&cred.member)
+            .remove(cred.member)
             .map(|_| ())
             .ok_or(LegionError::NoSuchObject(cred.member))
     }
@@ -151,12 +199,7 @@ impl Collection {
         now: SimTime,
     ) -> Result<(), LegionError> {
         self.authenticate(cred)?;
-        let mut records = self.records.write();
-        let rec = records
-            .get_mut(&cred.member)
-            .ok_or(LegionError::NoSuchObject(cred.member))?;
-        rec.attrs.merge_from(attrs);
-        rec.updated_at = now;
+        self.store.write().mutate_attrs(cred.member, now, |db| db.merge_from(attrs))?;
         self.bump(|m| MetricsLedger::bump(&m.collection_updates));
         Ok(())
     }
@@ -169,72 +212,104 @@ impl Collection {
         now: SimTime,
     ) -> Result<(), LegionError> {
         self.authenticate(cred)?;
-        let mut records = self.records.write();
-        let rec = records
-            .get_mut(&cred.member)
-            .ok_or(LegionError::NoSuchObject(cred.member))?;
-        rec.attrs = attrs;
-        rec.updated_at = now;
+        self.store.write().mutate_attrs(cred.member, now, |db| *db = attrs)?;
         self.bump(|m| MetricsLedger::bump(&m.collection_updates));
         Ok(())
     }
 
     /// `QueryCollection(String, &result)` — parses and runs a query.
-    pub fn query(&self, query: &str) -> Result<Vec<CollectionRecord>, LegionError> {
+    pub fn query(&self, query: &str) -> Result<Vec<Arc<CollectionRecord>>, LegionError> {
         let q = parse_query(query)?;
         Ok(self.query_parsed(&q))
     }
 
     /// Runs a pre-compiled query (Schedulers reuse compiled queries).
-    pub fn query_parsed(&self, query: &Query) -> Vec<CollectionRecord> {
+    ///
+    /// The engine first plans the query (see [`crate::planner`]): when
+    /// an indexable conjunct exists, the secondary indexes produce a
+    /// candidate set and only those records are evaluated; otherwise
+    /// every record is scanned. Either way the *full* query is
+    /// re-evaluated on each candidate, so index lookups only need to
+    /// over-approximate, never to be exact — results are identical to
+    /// [`Self::query_scan`] by construction (and by the proptest
+    /// equivalence suite).
+    ///
+    /// A plan is only executed when its cheap cardinality estimate says
+    /// it would narrow evaluation below half the records; a technically
+    /// indexable but non-selective predicate (e.g. `$host_load >= 0.0`)
+    /// costs more through candidate-set algebra than a straight scan,
+    /// so it takes the scan path.
+    pub fn query_parsed(&self, query: &Query) -> Vec<Arc<CollectionRecord>> {
         self.bump(|m| MetricsLedger::bump(&m.collection_queries));
         let derived = self.derived.read();
-        let records = self.records.read();
+        let store = self.store.read();
+        let is_derived = |name: &str| derived.iter().any(|d| d.name() == name);
         let mut out = Vec::new();
-        for rec in records.values() {
-            self.bump(|m| MetricsLedger::bump(&m.collection_records_scanned));
-            if derived.is_empty() {
-                if query.matches(&rec.attrs) {
-                    out.push(rec.clone());
-                }
-            } else {
-                // Function injection: extend the record view with derived
-                // attributes before evaluation, and return the extended
-                // view so Schedulers can read forecasts too.
-                let mut view = rec.attrs.clone();
-                for d in derived.iter() {
-                    if let Some((name, value)) = d.compute(rec.member, &view) {
-                        view.set(name, value);
+        let mut scanned: u64 = 0;
+        let plan = planner::plan(query.expr(), &is_derived)
+            .filter(|p| 2 * p.estimate(&store.indexes) < store.records.len());
+        match plan {
+            Some(plan) => {
+                for member in plan.execute(&store.indexes) {
+                    if let Some(rec) = store.records.get(&member) {
+                        scanned += 1;
+                        if let Some(hit) = eval_record(query, &derived, rec) {
+                            out.push(hit);
+                        }
                     }
                 }
-                if query.matches(&view) {
-                    let mut r = rec.clone();
-                    r.attrs = view;
-                    out.push(r);
+            }
+            None => {
+                for rec in store.records.values() {
+                    scanned += 1;
+                    if let Some(hit) = eval_record(query, &derived, rec) {
+                        out.push(hit);
+                    }
                 }
             }
         }
+        self.bump(|m| MetricsLedger::bump_by(&m.collection_records_scanned, scanned));
+        out
+    }
+
+    /// Runs a pre-compiled query by scanning every record, ignoring the
+    /// indexes. This is the reference implementation the planner must
+    /// agree with; it is kept public for the equivalence test suite and
+    /// the before/after benchmark.
+    pub fn query_scan(&self, query: &Query) -> Vec<Arc<CollectionRecord>> {
+        self.bump(|m| MetricsLedger::bump(&m.collection_queries));
+        let derived = self.derived.read();
+        let store = self.store.read();
+        let mut out = Vec::new();
+        for rec in store.records.values() {
+            if let Some(hit) = eval_record(query, &derived, rec) {
+                out.push(hit);
+            }
+        }
+        self.bump(|m| {
+            MetricsLedger::bump_by(&m.collection_records_scanned, store.records.len() as u64)
+        });
         out
     }
 
     /// Returns every record (diagnostics; not part of Fig. 4).
-    pub fn dump(&self) -> Vec<CollectionRecord> {
-        self.records.read().values().cloned().collect()
+    pub fn dump(&self) -> Vec<Arc<CollectionRecord>> {
+        self.store.read().records.values().cloned().collect()
     }
 
     /// Reads one member's record.
-    pub fn get(&self, member: Loid) -> Option<CollectionRecord> {
-        self.records.read().get(&member).cloned()
+    pub fn get(&self, member: Loid) -> Option<Arc<CollectionRecord>> {
+        self.store.read().records.get(&member).cloned()
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.records.read().len()
+        self.store.read().records.len()
     }
 
     /// Whether the collection has no records.
     pub fn is_empty(&self) -> bool {
-        self.records.read().is_empty()
+        self.store.read().records.is_empty()
     }
 
     /// Installs a derived-attribute function (function injection, §3.2).
@@ -244,8 +319,9 @@ impl Collection {
 
     /// Maximum staleness across records at `now`.
     pub fn max_staleness(&self, now: SimTime) -> legion_core::SimDuration {
-        self.records
+        self.store
             .read()
+            .records
             .values()
             .map(|r| r.staleness(now))
             .max()
@@ -254,7 +330,7 @@ impl Collection {
 
     /// Convenience for members: read an attribute from a record.
     pub fn member_attr(&self, member: Loid, name: &str) -> Option<AttrValue> {
-        self.records.read().get(&member).and_then(|r| r.attrs.get(name).cloned())
+        self.store.read().records.get(&member).and_then(|r| r.attrs.get(name).cloned())
     }
 
     /// Evicts every record staler than `ttl` at `now`, returning the
@@ -270,17 +346,53 @@ impl Collection {
         now: SimTime,
         ttl: legion_core::SimDuration,
     ) -> Vec<Loid> {
-        let mut records = self.records.write();
-        let dead: Vec<Loid> = records
+        let mut store = self.store.write();
+        let dead: Vec<Loid> = store
+            .records
             .values()
             .filter(|r| r.staleness(now) > ttl)
             .map(|r| r.member)
             .collect();
         for member in &dead {
-            records.remove(member);
+            store.remove(*member);
             self.bump(|m| MetricsLedger::bump(&m.collection_evictions));
         }
         dead
+    }
+}
+
+/// Evaluates one record against the query, extending its view with
+/// derived attributes when any are installed.
+///
+/// Without derived attributes a hit is a zero-copy `Arc` clone of the
+/// stored snapshot; with them, the extended view is materialized in a
+/// fresh record (the only copy-on-write point on the query path).
+fn eval_record(
+    query: &Query,
+    derived: &[DerivedAttribute],
+    rec: &Arc<CollectionRecord>,
+) -> Option<Arc<CollectionRecord>> {
+    if derived.is_empty() {
+        if query.matches(&rec.attrs) {
+            Some(Arc::clone(rec))
+        } else {
+            None
+        }
+    } else {
+        // Function injection: extend the record view with derived
+        // attributes before evaluation, and return the extended view so
+        // Schedulers can read forecasts too.
+        let mut view = rec.attrs.clone();
+        for d in derived.iter() {
+            if let Some((name, value)) = d.compute(rec.member, &view) {
+                view.set(name, value);
+            }
+        }
+        if query.matches(&view) {
+            Some(Arc::new(rec.with_attrs(view)))
+        } else {
+            None
+        }
     }
 }
 

@@ -10,6 +10,13 @@
 //! are registered with a label (usually the domain name); queries
 //! compile once and evaluate against every member; results carry their
 //! origin so Schedulers can weigh locality.
+//!
+//! A federated query reuses the compiled [`Query`] — and, through each
+//! member's [`Collection::query_parsed`], the index planner — per
+//! member: each domain plans the same AST against its own indexes (and
+//! its own set of injected derived attributes), so a selective query
+//! stays sublinear in every domain it fans out to. Hits are `Arc`
+//! snapshots shared with the member Collections, not deep copies.
 
 use crate::collection::Collection;
 use crate::query::{parse_query, Query};
@@ -28,8 +35,8 @@ pub struct FederatedCollection {
 pub struct FederatedRecord {
     /// The label of the member Collection (usually a domain name).
     pub origin: String,
-    /// The record.
-    pub record: CollectionRecord,
+    /// The record — a snapshot shared with the owning Collection.
+    pub record: Arc<CollectionRecord>,
 }
 
 impl FederatedCollection {
@@ -83,7 +90,7 @@ impl FederatedCollection {
         &self,
         label: &str,
         query: &str,
-    ) -> Result<Vec<CollectionRecord>, LegionError> {
+    ) -> Result<Vec<Arc<CollectionRecord>>, LegionError> {
         let members = self.members.read();
         let (_, c) = members
             .iter()

@@ -1,0 +1,341 @@
+//! Secondary indexes over Collection records.
+//!
+//! The Collection is the hottest read path in the RMI pipeline: every
+//! placement decision funnels a query through it (§3.2, Fig. 7). A
+//! linear scan makes scheduling cost grow with grid size — the scaling
+//! wall the resource-discovery literature (Nimrod/G, GridSim) warns
+//! about. These indexes make selective queries sublinear:
+//!
+//! * a per-attribute **string index** (sorted, so it serves both exact
+//!   equality and anchored-literal-prefix `match()` probes),
+//! * a per-attribute **numeric index** (sorted over a total order on
+//!   `f64`, serving `<`, `<=`, `>`, `>=`, `==` ranges with the same
+//!   int→float coercion the evaluator uses),
+//! * a **presence index** (attribute name → members), serving
+//!   `exists()`.
+//!
+//! Indexes are maintained incrementally on join/update/replace/leave/
+//! evict under the same lock as the record map, so they can never drift
+//! from the records. Every lookup returns a *superset-correct* member
+//! set for its predicate: the query engine re-evaluates the full query
+//! on each candidate, so a lookup may safely over-approximate (e.g. two
+//! huge `i64`s that collapse to one `f64` bucket) but must never miss a
+//! matching record.
+
+use legion_core::{AttrValue, AttributeDb, Loid};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Bound;
+
+/// A total-order key over finite `f64`s.
+///
+/// `NaN` is rejected at construction (a `NaN`-valued attribute can never
+/// satisfy a comparison, so it is simply not indexed) and `-0.0` is
+/// normalized to `0.0` so the index's order agrees with the evaluator's
+/// `partial_cmp`-based semantics, under which the two zeros are equal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumKey(f64);
+
+impl NumKey {
+    /// Builds a key, refusing `NaN`.
+    pub fn new(v: f64) -> Option<Self> {
+        if v.is_nan() {
+            None
+        } else {
+            Some(NumKey(if v == 0.0 { 0.0 } else { v }))
+        }
+    }
+}
+
+impl Eq for NumKey {}
+
+impl PartialOrd for NumKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for NumKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The per-attribute secondary indexes.
+#[derive(Debug, Default)]
+pub struct AttributeIndexes {
+    /// attr name → string value → members.
+    strings: HashMap<String, BTreeMap<String, BTreeSet<Loid>>>,
+    /// attr name → numeric value (coerced to `f64`) → members.
+    numbers: HashMap<String, BTreeMap<NumKey, BTreeSet<Loid>>>,
+    /// attr name → members carrying the attribute (any type).
+    presence: HashMap<String, BTreeSet<Loid>>,
+}
+
+impl AttributeIndexes {
+    /// An empty index set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indexes every attribute of `member`'s record.
+    pub fn insert(&mut self, member: Loid, attrs: &AttributeDb) {
+        for (name, value) in attrs.iter() {
+            self.presence.entry(name.to_string()).or_default().insert(member);
+            match value {
+                AttrValue::Str(s) => {
+                    self.strings
+                        .entry(name.to_string())
+                        .or_default()
+                        .entry(s.clone())
+                        .or_default()
+                        .insert(member);
+                }
+                AttrValue::Int(_) | AttrValue::Float(_) => {
+                    if let Some(key) = value.as_f64().and_then(NumKey::new) {
+                        self.numbers
+                            .entry(name.to_string())
+                            .or_default()
+                            .entry(key)
+                            .or_default()
+                            .insert(member);
+                    }
+                }
+                // Bools and lists are only findable via `exists()`;
+                // comparisons on them fall back to the scan path.
+                AttrValue::Bool(_) | AttrValue::List(_) => {}
+            }
+        }
+    }
+
+    /// Un-indexes every attribute of `member`'s record (the exact
+    /// `attrs` previously passed to [`Self::insert`]).
+    pub fn remove(&mut self, member: Loid, attrs: &AttributeDb) {
+        for (name, value) in attrs.iter() {
+            if let Some(set) = self.presence.get_mut(name) {
+                set.remove(&member);
+                if set.is_empty() {
+                    self.presence.remove(name);
+                }
+            }
+            match value {
+                AttrValue::Str(s) => {
+                    if let Some(by_val) = self.strings.get_mut(name) {
+                        if let Some(set) = by_val.get_mut(s) {
+                            set.remove(&member);
+                            if set.is_empty() {
+                                by_val.remove(s);
+                            }
+                        }
+                        if by_val.is_empty() {
+                            self.strings.remove(name);
+                        }
+                    }
+                }
+                AttrValue::Int(_) | AttrValue::Float(_) => {
+                    if let Some(key) = value.as_f64().and_then(NumKey::new) {
+                        if let Some(by_val) = self.numbers.get_mut(name) {
+                            if let Some(set) = by_val.get_mut(&key) {
+                                set.remove(&member);
+                                if set.is_empty() {
+                                    by_val.remove(&key);
+                                }
+                            }
+                            if by_val.is_empty() {
+                                self.numbers.remove(name);
+                            }
+                        }
+                    }
+                }
+                AttrValue::Bool(_) | AttrValue::List(_) => {}
+            }
+        }
+    }
+
+    /// Members whose `attr` is the string `value`.
+    pub fn lookup_str_eq(&self, attr: &str, value: &str) -> BTreeSet<Loid> {
+        self.strings
+            .get(attr)
+            .and_then(|by_val| by_val.get(value))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Members whose `attr` is a string starting with `prefix`.
+    pub fn lookup_str_prefix(&self, attr: &str, prefix: &str) -> BTreeSet<Loid> {
+        let mut out = BTreeSet::new();
+        if let Some(by_val) = self.strings.get(attr) {
+            for (_, members) in by_val
+                .range::<String, _>((Bound::Included(prefix.to_string()), Bound::Unbounded))
+                .take_while(|(value, _)| value.starts_with(prefix))
+            {
+                out.extend(members.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Members whose `attr` is numeric and inside `(lo, hi)`.
+    pub fn lookup_num_range(
+        &self,
+        attr: &str,
+        lo: Bound<f64>,
+        hi: Bound<f64>,
+    ) -> BTreeSet<Loid> {
+        let to_key = |b: Bound<f64>| match b {
+            Bound::Included(v) => NumKey::new(v).map(Bound::Included),
+            Bound::Excluded(v) => NumKey::new(v).map(Bound::Excluded),
+            Bound::Unbounded => Some(Bound::Unbounded),
+        };
+        let (Some(lo), Some(hi)) = (to_key(lo), to_key(hi)) else {
+            // A NaN bound can never be satisfied.
+            return BTreeSet::new();
+        };
+        let mut out = BTreeSet::new();
+        if let Some(by_val) = self.numbers.get(attr) {
+            for (_, members) in by_val.range((lo, hi)) {
+                out.extend(members.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Members carrying `attr` at all.
+    pub fn lookup_exists(&self, attr: &str) -> BTreeSet<Loid> {
+        self.presence.get(attr).cloned().unwrap_or_default()
+    }
+
+    /// Hit count of [`Self::lookup_str_eq`] without materializing it.
+    pub fn count_str_eq(&self, attr: &str, value: &str) -> usize {
+        self.strings.get(attr).and_then(|by_val| by_val.get(value)).map_or(0, BTreeSet::len)
+    }
+
+    /// Hit count of [`Self::lookup_str_prefix`] without materializing
+    /// it (walks matching buckets, but allocates nothing).
+    pub fn count_str_prefix(&self, attr: &str, prefix: &str) -> usize {
+        self.strings.get(attr).map_or(0, |by_val| {
+            by_val
+                .range::<String, _>((Bound::Included(prefix.to_string()), Bound::Unbounded))
+                .take_while(|(value, _)| value.starts_with(prefix))
+                .map(|(_, members)| members.len())
+                .sum()
+        })
+    }
+
+    /// Hit count of [`Self::lookup_num_range`] without materializing it.
+    pub fn count_num_range(&self, attr: &str, lo: Bound<f64>, hi: Bound<f64>) -> usize {
+        let to_key = |b: Bound<f64>| match b {
+            Bound::Included(v) => NumKey::new(v).map(Bound::Included),
+            Bound::Excluded(v) => NumKey::new(v).map(Bound::Excluded),
+            Bound::Unbounded => Some(Bound::Unbounded),
+        };
+        let (Some(lo), Some(hi)) = (to_key(lo), to_key(hi)) else {
+            return 0;
+        };
+        self.numbers
+            .get(attr)
+            .map_or(0, |by_val| by_val.range((lo, hi)).map(|(_, members)| members.len()).sum())
+    }
+
+    /// Hit count of [`Self::lookup_exists`] without materializing it.
+    pub fn count_exists(&self, attr: &str) -> usize {
+        self.presence.get(attr).map_or(0, BTreeSet::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::LoidKind;
+
+    fn l(seq: u64) -> Loid {
+        Loid::synthetic(LoidKind::Host, seq)
+    }
+
+    fn sample() -> AttributeIndexes {
+        let mut idx = AttributeIndexes::new();
+        idx.insert(
+            l(1),
+            &AttributeDb::new().with("os", "IRIX").with("load", 0.2).with("up", true),
+        );
+        idx.insert(l(2), &AttributeDb::new().with("os", "Linux").with("load", 0.9));
+        idx.insert(l(3), &AttributeDb::new().with("os", "IRIX64").with("mem", 512i64));
+        idx
+    }
+
+    #[test]
+    fn string_equality_hits_exact_value() {
+        let idx = sample();
+        assert_eq!(idx.lookup_str_eq("os", "IRIX"), BTreeSet::from([l(1)]));
+        assert_eq!(idx.lookup_str_eq("os", "HPUX"), BTreeSet::new());
+        assert_eq!(idx.lookup_str_eq("nope", "IRIX"), BTreeSet::new());
+    }
+
+    #[test]
+    fn prefix_scans_sorted_values() {
+        let idx = sample();
+        assert_eq!(idx.lookup_str_prefix("os", "IRIX"), BTreeSet::from([l(1), l(3)]));
+        assert_eq!(idx.lookup_str_prefix("os", ""), BTreeSet::from([l(1), l(2), l(3)]));
+        assert_eq!(idx.lookup_str_prefix("os", "Z"), BTreeSet::new());
+    }
+
+    #[test]
+    fn numeric_ranges_with_coercion() {
+        let idx = sample();
+        // Int attr found through a float range.
+        assert_eq!(
+            idx.lookup_num_range("mem", Bound::Included(511.5), Bound::Unbounded),
+            BTreeSet::from([l(3)])
+        );
+        assert_eq!(
+            idx.lookup_num_range("load", Bound::Unbounded, Bound::Excluded(0.9)),
+            BTreeSet::from([l(1)])
+        );
+        assert_eq!(
+            idx.lookup_num_range("load", Bound::Included(0.9), Bound::Included(0.9)),
+            BTreeSet::from([l(2)])
+        );
+    }
+
+    #[test]
+    fn presence_covers_every_type() {
+        let idx = sample();
+        assert_eq!(idx.lookup_exists("up"), BTreeSet::from([l(1)]));
+        assert_eq!(idx.lookup_exists("os"), BTreeSet::from([l(1), l(2), l(3)]));
+        assert_eq!(idx.lookup_exists("gpu"), BTreeSet::new());
+    }
+
+    #[test]
+    fn remove_prunes_empty_buckets() {
+        let mut idx = sample();
+        let attrs = AttributeDb::new().with("os", "IRIX").with("load", 0.2).with("up", true);
+        idx.remove(l(1), &attrs);
+        assert_eq!(idx.lookup_str_eq("os", "IRIX"), BTreeSet::new());
+        assert_eq!(idx.lookup_exists("up"), BTreeSet::new());
+        assert_eq!(
+            idx.lookup_num_range("load", Bound::Unbounded, Bound::Unbounded),
+            BTreeSet::from([l(2)])
+        );
+    }
+
+    #[test]
+    fn negative_zero_folds_onto_zero() {
+        let mut idx = AttributeIndexes::new();
+        idx.insert(l(1), &AttributeDb::new().with("x", -0.0));
+        assert_eq!(
+            idx.lookup_num_range("x", Bound::Included(0.0), Bound::Included(0.0)),
+            BTreeSet::from([l(1)])
+        );
+    }
+
+    #[test]
+    fn nan_is_never_indexed() {
+        let mut idx = AttributeIndexes::new();
+        idx.insert(l(1), &AttributeDb::new().with("x", f64::NAN));
+        assert_eq!(
+            idx.lookup_num_range("x", Bound::Unbounded, Bound::Unbounded),
+            BTreeSet::new()
+        );
+        // ...but presence still sees it.
+        assert_eq!(idx.lookup_exists("x"), BTreeSet::from([l(1)]));
+    }
+}

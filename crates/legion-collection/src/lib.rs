@@ -19,6 +19,15 @@
 //! * [`FederatedCollection`] realizes the paper's plural "known
 //!   Collection(s)": one Collection per administrative domain with
 //!   fan-out queries tagged by origin.
+//! * [`index`] and [`planner`] form the indexed query engine: secondary
+//!   per-attribute indexes (string, numeric, presence) maintained
+//!   incrementally on every membership change, and a planner that
+//!   extracts indexable conjuncts (string equality, numeric ranges,
+//!   `exists()`, anchored-literal-prefix `match()`) so selective
+//!   queries touch a candidate set instead of every record. Residual
+//!   predicates fall back to a full scan; either path re-evaluates the
+//!   complete query per candidate, so results are always identical to
+//!   the naive scan.
 //! * [`inject`] implements the planned *function injection* extension —
 //!   "the ability for users to install code to dynamically compute new
 //!   description information" — including a Network-Weather-Service-style
@@ -27,13 +36,17 @@
 pub mod collection;
 pub mod daemon;
 pub mod federation;
+pub mod index;
 pub mod inject;
+pub mod planner;
 pub mod query;
 pub mod record;
 
 pub use collection::{Collection, MemberCredential};
 pub use daemon::DataCollectionDaemon;
 pub use federation::{FederatedCollection, FederatedRecord};
+pub use index::AttributeIndexes;
 pub use inject::{DerivedAttribute, LoadForecaster};
+pub use planner::{IndexPredicate, Plan};
 pub use query::{parse_query, Query};
 pub use record::CollectionRecord;

@@ -1,0 +1,499 @@
+//! The query planner: turns a compiled query's AST into an index plan.
+//!
+//! The planner walks a [`QueryExpr`] and extracts the **indexable
+//! conjuncts** — predicates whose satisfying member set can be read
+//! straight out of the [`AttributeIndexes`]:
+//!
+//! * string equality: `$attr == "lit"` (either operand order),
+//! * numeric range: `$attr < n`, `<=`, `>`, `>=`, `==` (either order;
+//!   the flipped order mirrors the operator),
+//! * `exists($attr)`,
+//! * `match()` whose pattern is a *literal* with an anchored literal
+//!   prefix: `match("^IRIX", $attr)` becomes a prefix probe, and a fully
+//!   anchored literal `match("^IRIX$", $attr)` an equality probe.
+//!
+//! Everything else — negation, `contains()`, unanchored or
+//! attribute-sourced patterns, string ordering, `!=`, comparisons
+//! between two attributes — is *residual*: the plan it produces is
+//! `None` and the engine falls back to a full scan, or, inside an
+//! `and`, the indexable side narrows the candidate set and the residual
+//! side is checked by re-evaluating the **full query** on each
+//! candidate. That re-evaluation is the safety net that makes the
+//! planner's only obligation *superset correctness*: a plan may return
+//! candidates that do not match, never miss ones that do.
+//!
+//! Attributes produced by injected functions
+//! ([`DerivedAttribute`](crate::inject::DerivedAttribute)) are never
+//! indexable — their values exist only in query-time views — so any
+//! conjunct touching a derived name is residual.
+
+use crate::index::AttributeIndexes;
+use crate::query::{CmpOp, MatchArg, Operand, QueryExpr};
+use legion_core::{AttrValue, Loid};
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+/// One index probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexPredicate {
+    /// `$attr == "value"`.
+    StrEq {
+        /// The indexed attribute.
+        attr: String,
+        /// The sought string.
+        value: String,
+    },
+    /// `match("^prefix...", $attr)`.
+    StrPrefix {
+        /// The indexed attribute.
+        attr: String,
+        /// The anchored literal prefix.
+        prefix: String,
+    },
+    /// `$attr` within a numeric range.
+    NumRange {
+        /// The indexed attribute.
+        attr: String,
+        /// Lower bound.
+        lo: Bound<f64>,
+        /// Upper bound.
+        hi: Bound<f64>,
+    },
+    /// `exists($attr)`.
+    Exists {
+        /// The probed attribute.
+        attr: String,
+    },
+}
+
+/// An executable index plan: probes combined by set algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// A single index probe.
+    Lookup(IndexPredicate),
+    /// Intersection of sub-plans (an `and` of indexable conjuncts).
+    Intersect(Vec<Plan>),
+    /// Union of sub-plans (an `or` whose arms are all indexable).
+    Union(Vec<Plan>),
+}
+
+impl Plan {
+    /// Runs the plan against the indexes, yielding the candidate set.
+    pub fn execute(&self, idx: &AttributeIndexes) -> BTreeSet<Loid> {
+        match self {
+            Plan::Lookup(p) => match p {
+                IndexPredicate::StrEq { attr, value } => idx.lookup_str_eq(attr, value),
+                IndexPredicate::StrPrefix { attr, prefix } => {
+                    idx.lookup_str_prefix(attr, prefix)
+                }
+                IndexPredicate::NumRange { attr, lo, hi } => {
+                    idx.lookup_num_range(attr, *lo, *hi)
+                }
+                IndexPredicate::Exists { attr } => idx.lookup_exists(attr),
+            },
+            Plan::Intersect(parts) => {
+                let mut sets = parts.iter().map(|p| p.execute(idx));
+                let Some(mut acc) = sets.next() else { return BTreeSet::new() };
+                for s in sets {
+                    acc.retain(|m| s.contains(m));
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                acc
+            }
+            Plan::Union(parts) => {
+                let mut acc = BTreeSet::new();
+                for p in parts {
+                    acc.extend(p.execute(idx));
+                }
+                acc
+            }
+        }
+    }
+
+    /// Upper bound on the candidate count [`Self::execute`] would
+    /// return, computed without materializing any set — just bucket
+    /// sizes. The engine uses this to skip the index path when a plan
+    /// is not selective (an indexable predicate matching most records
+    /// costs more through set algebra than a straight scan).
+    pub fn estimate(&self, idx: &AttributeIndexes) -> usize {
+        match self {
+            Plan::Lookup(p) => match p {
+                IndexPredicate::StrEq { attr, value } => idx.count_str_eq(attr, value),
+                IndexPredicate::StrPrefix { attr, prefix } => idx.count_str_prefix(attr, prefix),
+                IndexPredicate::NumRange { attr, lo, hi } => idx.count_num_range(attr, *lo, *hi),
+                IndexPredicate::Exists { attr } => idx.count_exists(attr),
+            },
+            // An intersection can hit at most its smallest part.
+            Plan::Intersect(parts) => {
+                parts.iter().map(|p| p.estimate(idx)).min().unwrap_or(0)
+            }
+            Plan::Union(parts) => {
+                parts.iter().map(|p| p.estimate(idx)).fold(0usize, usize::saturating_add)
+            }
+        }
+    }
+}
+
+/// Plans `expr` against the indexes. `is_derived` reports whether an
+/// attribute name is produced by an injected function (and therefore
+/// invisible to the stored-record indexes). Returns `None` when no
+/// index can narrow the query — the caller must run a full scan.
+pub fn plan(expr: &QueryExpr, is_derived: &dyn Fn(&str) -> bool) -> Option<Plan> {
+    match expr {
+        QueryExpr::And(a, b) => match (plan(a, is_derived), plan(b, is_derived)) {
+            // Either side alone is a superset of the conjunction.
+            (Some(pa), Some(pb)) => Some(Plan::Intersect(vec![pa, pb])),
+            (Some(p), None) | (None, Some(p)) => Some(p),
+            (None, None) => None,
+        },
+        // An `or` is only narrowable when *both* arms are.
+        QueryExpr::Or(a, b) => match (plan(a, is_derived), plan(b, is_derived)) {
+            (Some(pa), Some(pb)) => Some(Plan::Union(vec![pa, pb])),
+            _ => None,
+        },
+        QueryExpr::Cmp { lhs, op, rhs } => plan_cmp(lhs, *op, rhs, is_derived),
+        QueryExpr::Exists(attr) if !is_derived(attr) => {
+            Some(Plan::Lookup(IndexPredicate::Exists { attr: attr.clone() }))
+        }
+        QueryExpr::Match { a, b } => plan_match(a, b, is_derived),
+        // Negation, contains(), bool constants: residual.
+        _ => None,
+    }
+}
+
+fn plan_cmp(
+    lhs: &Operand,
+    op: CmpOp,
+    rhs: &Operand,
+    is_derived: &dyn Fn(&str) -> bool,
+) -> Option<Plan> {
+    // Normalize to (attr, op, literal); a literal-first comparison
+    // mirrors the operator: `5 > $x` is `$x < 5`.
+    let (attr, op, lit) = match (lhs, rhs) {
+        (Operand::Attr(a), Operand::Lit(v)) => (a, op, v),
+        (Operand::Lit(v), Operand::Attr(a)) => (a, flip(op), v),
+        _ => return None,
+    };
+    if is_derived(attr) {
+        return None;
+    }
+    match (op, lit) {
+        (CmpOp::Eq, AttrValue::Str(s)) => Some(Plan::Lookup(IndexPredicate::StrEq {
+            attr: attr.clone(),
+            value: s.clone(),
+        })),
+        (_, AttrValue::Int(_) | AttrValue::Float(_)) => {
+            let v = lit.as_f64().expect("numeric literal");
+            let (lo, hi) = match op {
+                CmpOp::Eq => (Bound::Included(v), Bound::Included(v)),
+                CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(v)),
+                CmpOp::Le => (Bound::Unbounded, Bound::Included(v)),
+                CmpOp::Gt => (Bound::Excluded(v), Bound::Unbounded),
+                CmpOp::Ge => (Bound::Included(v), Bound::Unbounded),
+                // `!=` selects nearly everything; scanning is cheaper
+                // than materializing the complement.
+                CmpOp::Ne => return None,
+            };
+            Some(Plan::Lookup(IndexPredicate::NumRange { attr: attr.clone(), lo, hi }))
+        }
+        // String ordering, bool/list equality: residual.
+        _ => None,
+    }
+}
+
+fn plan_match(a: &MatchArg, b: &MatchArg, is_derived: &dyn Fn(&str) -> bool) -> Option<Plan> {
+    // Mirror the evaluator's pattern-argument resolution: with exactly
+    // one literal the literal is the pattern; other shapes (two
+    // literals, two attributes) are not attribute probes.
+    let (pattern, attr) = match (a, b) {
+        (MatchArg::Lit(p), MatchArg::Attr(t)) | (MatchArg::Attr(t), MatchArg::Lit(p)) => (p, t),
+        _ => return None,
+    };
+    if is_derived(attr) {
+        return None;
+    }
+    let (prefix, exact) = anchored_literal_prefix(pattern)?;
+    Some(Plan::Lookup(if exact {
+        IndexPredicate::StrEq { attr: attr.clone(), value: prefix }
+    } else {
+        IndexPredicate::StrPrefix { attr: attr.clone(), prefix }
+    }))
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq | CmpOp::Ne => op,
+    }
+}
+
+/// Extracts the anchored literal prefix of a regex pattern, if any.
+///
+/// Returns `Some((prefix, exact))` when every string the pattern can
+/// match starts with `prefix`; `exact` is true when the pattern is a
+/// fully anchored literal (`^lit$`) and so matches exactly `prefix`.
+///
+/// The prefix ends at the first metacharacter. A trailing `*`, `?` or
+/// `{` quantifier makes the preceding character optional, so it is
+/// dropped from the prefix; `+` keeps it (at-least-once). A `|` at the
+/// top nesting level anywhere in the pattern defeats the anchor —
+/// `^ab|cd` is `(^ab)|(cd)` — so such patterns yield `None`.
+fn anchored_literal_prefix(pattern: &str) -> Option<(String, bool)> {
+    let mut chars = pattern.char_indices().peekable();
+    let (_, first) = chars.next()?;
+    if first != '^' {
+        return None;
+    }
+    let mut prefix = String::new();
+    let mut rest_start = pattern.len();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            '\\' => {
+                let mut ahead = chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    // Class escapes match a set of characters: stop.
+                    Some(&(_, 'd' | 'D' | 'w' | 'W' | 's' | 'S')) => {
+                        rest_start = i;
+                        break;
+                    }
+                    Some(&(_, e)) => {
+                        prefix.push(match e {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        });
+                        chars.next();
+                        chars.next();
+                    }
+                    // Trailing bare backslash: invalid pattern; the
+                    // regex engine already rejected it, but be safe.
+                    None => return None,
+                }
+            }
+            '$' => {
+                chars.next();
+                return if chars.peek().is_none() {
+                    Some((prefix, true))
+                } else {
+                    // `$` mid-pattern: this engine treats it as an
+                    // end-anchor, which makes reasoning about the
+                    // remainder subtle. Bail out.
+                    None
+                };
+            }
+            '*' | '?' | '{' => {
+                // The preceding literal is optional (or has an
+                // arbitrary bound we don't parse): drop it.
+                prefix.pop();
+                rest_start = i;
+                break;
+            }
+            '+' => {
+                // At-least-once: the literal stays, but nothing after
+                // it is certain.
+                rest_start = i;
+                break;
+            }
+            '.' | '(' | ')' | '[' | ']' | '}' | '|' | '^' => {
+                rest_start = i;
+                break;
+            }
+            _ => {
+                prefix.push(c);
+                chars.next();
+            }
+        }
+    }
+    if toplevel_alternation(&pattern[rest_start..]) {
+        return None;
+    }
+    if prefix.is_empty() {
+        None
+    } else {
+        Some((prefix, false))
+    }
+}
+
+/// Whether `tail` contains a `|` at parenthesis depth 0 (outside
+/// character classes and escapes) — which would let a match bypass the
+/// `^`-anchored prefix entirely.
+fn toplevel_alternation(tail: &str) -> bool {
+    let mut depth = 0usize;
+    let mut in_class = false;
+    let mut chars = tail.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                chars.next();
+            }
+            '[' if !in_class => in_class = true,
+            ']' if in_class => in_class = false,
+            '(' if !in_class => depth += 1,
+            ')' if !in_class => depth = depth.saturating_sub(1),
+            '|' if !in_class && depth == 0 => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+
+    fn plan_str(q: &str) -> Option<Plan> {
+        let compiled = parse_query(q).unwrap();
+        plan(compiled.expr(), &|_| false)
+    }
+
+    #[test]
+    fn string_equality_both_orders() {
+        assert_eq!(
+            plan_str(r#"$os == "IRIX""#),
+            Some(Plan::Lookup(IndexPredicate::StrEq { attr: "os".into(), value: "IRIX".into() }))
+        );
+        assert_eq!(
+            plan_str(r#""IRIX" == $os"#),
+            Some(Plan::Lookup(IndexPredicate::StrEq { attr: "os".into(), value: "IRIX".into() }))
+        );
+    }
+
+    #[test]
+    fn numeric_ranges_flip_with_operand_order() {
+        assert_eq!(
+            plan_str("$load < 0.5"),
+            Some(Plan::Lookup(IndexPredicate::NumRange {
+                attr: "load".into(),
+                lo: Bound::Unbounded,
+                hi: Bound::Excluded(0.5),
+            }))
+        );
+        // `0.5 < $load` is `$load > 0.5`.
+        assert_eq!(
+            plan_str("0.5 < $load"),
+            Some(Plan::Lookup(IndexPredicate::NumRange {
+                attr: "load".into(),
+                lo: Bound::Excluded(0.5),
+                hi: Bound::Unbounded,
+            }))
+        );
+    }
+
+    #[test]
+    fn residual_shapes_fall_back() {
+        assert_eq!(plan_str("$a != 5"), None); // complement
+        assert_eq!(plan_str("not $a == 5"), None); // negation
+        assert_eq!(plan_str("$a == $b"), None); // attr-attr
+        assert_eq!(plan_str(r#"$os < "M""#), None); // string ordering
+        assert_eq!(plan_str(r#"contains($l, "x")"#), None);
+        assert_eq!(plan_str(r#"match($os, "IRIX")"#), None); // unanchored
+        assert_eq!(plan_str("match($pat, $ver)"), None); // attr-sourced pattern
+        assert_eq!(plan_str("true"), None);
+    }
+
+    #[test]
+    fn and_narrows_with_one_indexable_side() {
+        let p = plan_str(r#"$os == "IRIX" and not $load > 0.5"#).unwrap();
+        assert_eq!(
+            p,
+            Plan::Lookup(IndexPredicate::StrEq { attr: "os".into(), value: "IRIX".into() })
+        );
+    }
+
+    #[test]
+    fn or_requires_both_arms() {
+        assert!(matches!(
+            plan_str(r#"$os == "IRIX" or $load < 0.5"#),
+            Some(Plan::Union(_))
+        ));
+        assert_eq!(plan_str(r#"$os == "IRIX" or not $load > 0.5"#), None);
+    }
+
+    #[test]
+    fn derived_attributes_are_residual() {
+        let compiled = parse_query("$host_load_forecast < 0.5").unwrap();
+        assert_eq!(plan(compiled.expr(), &|n| n == "host_load_forecast"), None);
+        // ...and poison only their own conjunct.
+        let compiled = parse_query(r#"$os == "IRIX" and $host_load_forecast < 0.5"#).unwrap();
+        assert_eq!(
+            plan(compiled.expr(), &|n| n == "host_load_forecast"),
+            Some(Plan::Lookup(IndexPredicate::StrEq {
+                attr: "os".into(),
+                value: "IRIX".into()
+            }))
+        );
+    }
+
+    #[test]
+    fn anchored_prefixes() {
+        assert_eq!(anchored_literal_prefix("^IRIX"), Some(("IRIX".into(), false)));
+        assert_eq!(anchored_literal_prefix("^IRIX$"), Some(("IRIX".into(), true)));
+        assert_eq!(anchored_literal_prefix(r"^5\..*"), Some(("5.".into(), false)));
+        assert_eq!(anchored_literal_prefix("^ab*"), Some(("a".into(), false)));
+        assert_eq!(anchored_literal_prefix("^ab+"), Some(("ab".into(), false)));
+        assert_eq!(anchored_literal_prefix("^a{2}bc"), None); // `{` drops "a", leaving nothing
+        assert_eq!(anchored_literal_prefix("^$"), Some((String::new(), true)));
+    }
+
+    #[test]
+    fn alternation_defeats_the_anchor() {
+        assert_eq!(anchored_literal_prefix("^ab|cd"), None);
+        assert_eq!(anchored_literal_prefix("IRIX"), None); // unanchored
+        assert_eq!(anchored_literal_prefix("^a?bc"), None); // empty prefix after pop
+        // Grouped alternation after the prefix keeps the anchor.
+        assert_eq!(anchored_literal_prefix("^ab(c|d)"), Some(("ab".into(), false)));
+        // `|` inside a class is literal.
+        assert_eq!(anchored_literal_prefix("^ab[|]cd"), Some(("ab".into(), false)));
+    }
+
+    #[test]
+    fn estimates_upper_bound_execution() {
+        use legion_core::{AttributeDb, LoidKind};
+        let mut idx = AttributeIndexes::new();
+        for i in 0..10u64 {
+            idx.insert(
+                Loid::synthetic(LoidKind::Host, i),
+                &AttributeDb::new()
+                    .with("os", if i % 5 == 0 { "IRIX" } else { "Linux" })
+                    .with("load", i as f64),
+            );
+        }
+        let selective = plan_str(r#"$os == "IRIX""#).unwrap();
+        assert_eq!(selective.estimate(&idx), selective.execute(&idx).len());
+        assert_eq!(selective.estimate(&idx), 2);
+        let broad = plan_str("$load >= 0.0").unwrap();
+        assert_eq!(broad.estimate(&idx), 10);
+        // Intersection estimates by its smallest part; union by the sum
+        // (which may overcount overlap — fine for an upper bound).
+        let both = plan_str(r#"$os == "IRIX" and $load >= 0.0"#).unwrap();
+        assert_eq!(both.estimate(&idx), 2);
+        let either = plan_str(r#"$os == "IRIX" or $load >= 0.0"#).unwrap();
+        assert_eq!(either.estimate(&idx), 12);
+        assert!(either.estimate(&idx) >= either.execute(&idx).len());
+    }
+
+    #[test]
+    fn match_plans_use_prefix_or_equality() {
+        assert_eq!(
+            plan_str(r#"match("^IRIX$", $os)"#),
+            Some(Plan::Lookup(IndexPredicate::StrEq { attr: "os".into(), value: "IRIX".into() }))
+        );
+        assert_eq!(
+            plan_str(r#"match("^5\..*", $ver)"#),
+            Some(Plan::Lookup(IndexPredicate::StrPrefix { attr: "ver".into(), prefix: "5.".into() }))
+        );
+        // Attribute-first spelling plans identically.
+        assert_eq!(
+            plan_str(r#"match($ver, "^5\..*")"#),
+            Some(Plan::Lookup(IndexPredicate::StrPrefix { attr: "ver".into(), prefix: "5.".into() }))
+        );
+    }
+}

@@ -3,19 +3,23 @@
 use super::ast::{MatchArg, Operand, QueryExpr};
 use legion_core::{AttrValue, AttributeDb};
 use legion_regex::Regex;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::collections::HashMap;
 
 /// A compiled query, ready to test records.
 ///
 /// Literal `match()` patterns are compiled once at construction (bad
 /// patterns are reported immediately, as `QueryCollection` should).
-/// Patterns drawn from attributes are compiled on demand and cached.
+/// Patterns drawn from attributes are compiled on demand and cached in
+/// a read-mostly structure: on the hot path (every literal pattern, and
+/// every attribute-sourced pattern after its first sighting) a probe
+/// takes a shared read lock and allocates nothing, so concurrent
+/// queries over the same compiled `Query` do not serialize.
 #[derive(Debug)]
 pub struct Query {
     expr: QueryExpr,
     /// Pattern string → compiled regex; pre-seeded with literals.
-    regex_cache: Mutex<HashMap<String, Option<Regex>>>,
+    regex_cache: RwLock<HashMap<String, Option<Regex>>>,
 }
 
 impl Query {
@@ -23,7 +27,7 @@ impl Query {
     pub fn compile(expr: QueryExpr) -> Result<Self, String> {
         let mut cache = HashMap::new();
         seed_literal_patterns(&expr, &mut cache)?;
-        Ok(Query { expr, regex_cache: Mutex::new(cache) })
+        Ok(Query { expr, regex_cache: RwLock::new(cache) })
     }
 
     /// The underlying expression.
@@ -91,13 +95,26 @@ impl Query {
             }
         };
 
-        let mut cache = self.regex_cache.lock();
+        // Fast path: probe under the read lock with no allocation (an
+        // `entry()` probe would build a `String` key per record even on
+        // cache hits). Matching runs under the shared lock, so parallel
+        // queries proceed concurrently.
+        if let Some(compiled) = self.regex_cache.read().get(pattern) {
+            return match compiled {
+                Some(re) => re.is_match(text),
+                None => false, // attribute-sourced pattern failed to compile
+            };
+        }
+        // First sighting of an attribute-sourced pattern: compile and
+        // publish it. `entry` re-checks under the write lock in case a
+        // racing query inserted it between our probe and here.
+        let mut cache = self.regex_cache.write();
         let compiled = cache
             .entry(pattern.to_string())
             .or_insert_with(|| Regex::new(pattern).ok());
         match compiled {
             Some(re) => re.is_match(text),
-            None => false, // attribute-sourced pattern failed to compile
+            None => false,
         }
     }
 }

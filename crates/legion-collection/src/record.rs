@@ -26,6 +26,21 @@ impl CollectionRecord {
     pub fn staleness(&self, now: SimTime) -> legion_core::SimDuration {
         now.since(self.updated_at)
     }
+
+    /// A copy of this record carrying `attrs` instead of the stored
+    /// snapshot — used when derived attributes extend a query-time view.
+    ///
+    /// Query results are `Arc<CollectionRecord>` clones of the stored
+    /// snapshots; this is the one copy-on-write point where a fresh
+    /// record (and attribute database) is actually allocated.
+    pub fn with_attrs(&self, attrs: AttributeDb) -> Self {
+        CollectionRecord {
+            member: self.member,
+            attrs,
+            joined_at: self.joined_at,
+            updated_at: self.updated_at,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -86,8 +86,8 @@ impl Scheduler for KOfNScheduler {
         }
         // Least-loaded members take the master slots.
         candidates.sort_by(|a, b| {
-            let la = a.attrs.get_f64(well_known::LOAD).unwrap_or(f64::MAX);
-            let lb = b.attrs.get_f64(well_known::LOAD).unwrap_or(f64::MAX);
+            let la = a.attrs().get_f64(well_known::LOAD).unwrap_or(f64::MAX);
+            let lb = b.attrs().get_f64(well_known::LOAD).unwrap_or(f64::MAX);
             la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal)
         });
 

@@ -40,11 +40,11 @@ impl LoadAwareScheduler {
 
     fn load_of(&self, c: &crate::traits::Candidate) -> f64 {
         if self.use_forecast {
-            if let Some(f) = c.attrs.get_f64("host_load_forecast") {
+            if let Some(f) = c.attrs().get_f64("host_load_forecast") {
                 return f;
             }
         }
-        c.attrs.get_f64(well_known::LOAD).unwrap_or(f64::MAX)
+        c.attrs().get_f64(well_known::LOAD).unwrap_or(f64::MAX)
     }
 }
 

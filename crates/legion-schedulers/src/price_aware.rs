@@ -40,11 +40,11 @@ impl PriceAwareScheduler {
     }
 
     fn price_of(c: &Candidate) -> i64 {
-        c.attrs.get_i64(well_known::PRICE_PER_CPU_SEC).unwrap_or(i64::MAX)
+        c.attrs().get_i64(well_known::PRICE_PER_CPU_SEC).unwrap_or(i64::MAX)
     }
 
     fn load_of(c: &Candidate) -> f64 {
-        c.attrs.get_f64(well_known::LOAD).unwrap_or(f64::MAX)
+        c.attrs().get_f64(well_known::LOAD).unwrap_or(f64::MAX)
     }
 
     /// Estimated spend for a placement: Σ price(host) per instance

@@ -106,7 +106,7 @@ impl Scheduler for StencilScheduler {
         // go where the hosts are.
         let mut by_domain: BTreeMap<String, Vec<&Candidate>> = BTreeMap::new();
         for c in &candidates {
-            let dom = c.attrs.get_str(well_known::DOMAIN).unwrap_or("?").to_string();
+            let dom = c.attrs().get_str(well_known::DOMAIN).unwrap_or("?").to_string();
             by_domain.entry(dom).or_default().push(c);
         }
         let mut domains: Vec<(String, Vec<&Candidate>)> = by_domain.into_iter().collect();

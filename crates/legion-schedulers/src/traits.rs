@@ -1,9 +1,11 @@
 //! The Scheduler interface and shared candidate discovery.
 
 use legion_core::{ClassReport, LegionError, Loid, PlacementRequest};
-use legion_collection::Collection;
+use legion_collection::{parse_query, Collection, CollectionRecord, Query};
 use legion_fabric::Fabric;
 use legion_schedule::ScheduleRequestList;
+use parking_lot::RwLock;
+use std::collections::HashMap;
 use std::str::FromStr;
 use std::sync::Arc;
 
@@ -14,12 +16,28 @@ pub struct SchedCtx {
     pub fabric: Arc<Fabric>,
     /// The Collection to query for resource descriptions.
     pub collection: Arc<Collection>,
+    /// Compiled-query cache: schedulers rebuild the same candidate
+    /// query text on every placement attempt; parsing and regex
+    /// compilation happen once per distinct text, not per attempt.
+    compiled: RwLock<HashMap<String, Arc<Query>>>,
 }
 
 impl SchedCtx {
     /// Creates a context.
     pub fn new(fabric: Arc<Fabric>, collection: Arc<Collection>) -> Self {
-        SchedCtx { fabric, collection }
+        SchedCtx { fabric, collection, compiled: RwLock::new(HashMap::new()) }
+    }
+
+    /// Compiles `text` once and caches it for the context's lifetime;
+    /// repeated placement attempts reuse the compiled [`Query`] via
+    /// [`Collection::query_parsed`].
+    pub fn compiled_query(&self, text: &str) -> Result<Arc<Query>, LegionError> {
+        if let Some(q) = self.compiled.read().get(text) {
+            return Ok(Arc::clone(q));
+        }
+        let q = Arc::new(parse_query(text)?);
+        self.compiled.write().insert(text.to_string(), Arc::clone(&q));
+        Ok(q)
     }
 
     /// Reads a class's report ("any Scheduler may query the object
@@ -61,7 +79,8 @@ impl SchedCtx {
             q.push(')');
         }
 
-        let records = self.collection.query(&q)?;
+        let compiled = self.compiled_query(&q)?;
+        let records = self.collection.query_parsed(&compiled);
         Ok(records
             .into_iter()
             .map(|rec| {
@@ -79,7 +98,7 @@ impl SchedCtx {
                             .collect()
                     })
                     .unwrap_or_default();
-                Candidate { host: rec.member, vaults, attrs: rec.attrs }
+                Candidate { host: rec.member, vaults, record: rec }
             })
             .collect())
     }
@@ -92,14 +111,19 @@ pub struct Candidate {
     pub host: Loid,
     /// Vaults the host reported compatible.
     pub vaults: Vec<Loid>,
-    /// The full record attributes (load, domain, price...).
-    pub attrs: legion_core::AttributeDb,
+    /// The Collection record snapshot (shared, not deep-copied).
+    pub record: Arc<CollectionRecord>,
 }
 
 impl Candidate {
     /// Whether the candidate can actually hold an OPR somewhere.
     pub fn usable(&self) -> bool {
         !self.vaults.is_empty()
+    }
+
+    /// The full record attributes (load, domain, price...).
+    pub fn attrs(&self) -> &legion_core::AttributeDb {
+        &self.record.attrs
     }
 }
 
