@@ -1,0 +1,48 @@
+#![allow(missing_docs)]
+//! Trace-layer overhead: the Fig. 3 placement pipeline with the
+//! `legion-trace` sink disabled (the default), enabled, and enabled
+//! with a per-iteration JSON export.
+//!
+//! The sink is designed to be lock-light — disabled guards are
+//! no-ops and enabled spans take one short mutex hold at open/close —
+//! so "disabled" should be indistinguishable from the seed pipeline
+//! and "enabled" should cost a small constant per span.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use legion::prelude::*;
+use legion_bench::bench_bed;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(20);
+    for mode in ["disabled", "enabled", "enabled_json"] {
+        g.bench_with_input(BenchmarkId::new("place_8", mode), &mode, |b, &mode| {
+            b.iter_batched(
+                || {
+                    let (tb, class) = bench_bed(64, 64);
+                    if mode != "disabled" {
+                        tb.fabric.enable_tracing();
+                    }
+                    (tb, class)
+                },
+                |(tb, class)| {
+                    let scheduler = RandomScheduler::new(1);
+                    let enactor = Enactor::new(tb.fabric.clone());
+                    let driver = ScheduleDriver::new(&scheduler, &enactor);
+                    let report = driver
+                        .place(&PlacementRequest::new().class(class, 8), &tb.ctx())
+                        .expect("placement");
+                    if mode == "enabled_json" {
+                        criterion::black_box(legion::trace::trace_json(tb.fabric.tracer()));
+                    }
+                    report
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

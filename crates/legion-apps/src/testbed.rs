@@ -145,6 +145,7 @@ impl Testbed {
                 };
                 let h = StandardHost::new(cfg, fabric.clone(), config.seed ^ (host_seq << 8));
                 h.set_metrics(Arc::clone(fabric.metrics()));
+                h.set_tracer(Arc::clone(fabric.tracer()));
                 if let LoadRegime::Ar1 { mean } = config.load {
                     // Deterministic per-host mean in [0.2, 1.8] x mean.
                     let u = 0.2
@@ -202,6 +203,7 @@ impl Testbed {
         // Populate the Collection via the pull daemon, with forecasting.
         let collection = Collection::new(config.seed ^ 0x5EED);
         collection.set_metrics(Arc::clone(fabric.metrics()));
+        collection.set_tracer(Arc::clone(fabric.tracer()));
         let daemon = DataCollectionDaemon::new(Arc::clone(&collection));
         let forecaster = LoadForecaster::new(48);
         daemon.feed_forecaster(Arc::clone(&forecaster));

@@ -22,8 +22,9 @@ use crate::planner;
 use crate::query::{parse_query, Query};
 use crate::record::CollectionRecord;
 use legion_core::hash::KeyedTag;
-use legion_core::{AttrValue, AttributeDb, LegionError, Loid, LoidKind, SimTime};
+use legion_core::{AttrValue, AttributeDb, LegionError, Loid, LoidKind, SimTime, SpanKind};
 use legion_fabric::MetricsLedger;
+use legion_trace::TraceSink;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -119,6 +120,7 @@ pub struct Collection {
     store: RwLock<Store>,
     derived: RwLock<Vec<DerivedAttribute>>,
     metrics: RwLock<Option<Arc<MetricsLedger>>>,
+    tracer: RwLock<Option<Arc<TraceSink>>>,
 }
 
 impl Collection {
@@ -130,6 +132,7 @@ impl Collection {
             store: RwLock::new(Store::default()),
             derived: RwLock::new(Vec::new()),
             metrics: RwLock::new(None),
+            tracer: RwLock::new(None),
         })
     }
 
@@ -143,9 +146,22 @@ impl Collection {
         *self.metrics.write() = Some(m);
     }
 
+    /// Attaches the fabric trace sink so query evaluations emit
+    /// `collection_query` spans.
+    pub fn set_tracer(&self, t: Arc<TraceSink>) {
+        *self.tracer.write() = Some(t);
+    }
+
     fn bump(&self, f: impl FnOnce(&MetricsLedger)) {
         if let Some(m) = self.metrics.read().as_ref() {
             f(m);
+        }
+    }
+
+    fn query_span(&self) -> legion_trace::SpanGuard {
+        match self.tracer.read().as_ref() {
+            Some(t) => t.span(SpanKind::CollectionQuery),
+            None => legion_trace::SpanGuard::disabled(),
         }
     }
 
@@ -241,6 +257,7 @@ impl Collection {
     /// so it takes the scan path.
     pub fn query_parsed(&self, query: &Query) -> Vec<Arc<CollectionRecord>> {
         self.bump(|m| MetricsLedger::bump(&m.collection_queries));
+        let span = self.query_span();
         let derived = self.derived.read();
         let store = self.store.read();
         let is_derived = |name: &str| derived.iter().any(|d| d.name() == name);
@@ -248,6 +265,7 @@ impl Collection {
         let mut scanned: u64 = 0;
         let plan = planner::plan(query.expr(), &is_derived)
             .filter(|p| 2 * p.estimate(&store.indexes) < store.records.len());
+        span.attr("indexed", plan.is_some());
         match plan {
             Some(plan) => {
                 for member in plan.execute(&store.indexes) {
@@ -269,6 +287,9 @@ impl Collection {
             }
         }
         self.bump(|m| MetricsLedger::bump_by(&m.collection_records_scanned, scanned));
+        span.attr("scanned", scanned as i64);
+        span.attr("hits", out.len() as i64);
+        span.end_ok();
         out
     }
 
@@ -278,6 +299,8 @@ impl Collection {
     /// the before/after benchmark.
     pub fn query_scan(&self, query: &Query) -> Vec<Arc<CollectionRecord>> {
         self.bump(|m| MetricsLedger::bump(&m.collection_queries));
+        let span = self.query_span();
+        span.attr("indexed", false);
         let derived = self.derived.read();
         let store = self.store.read();
         let mut out = Vec::new();
@@ -289,6 +312,9 @@ impl Collection {
         self.bump(|m| {
             MetricsLedger::bump_by(&m.collection_records_scanned, store.records.len() as u64)
         });
+        span.attr("scanned", store.records.len() as i64);
+        span.attr("hits", out.len() as i64);
+        span.end_ok();
         out
     }
 

@@ -34,6 +34,7 @@ pub mod request;
 pub mod reservation;
 pub mod rge;
 pub mod time;
+pub mod trace;
 pub mod vault;
 
 pub use attrs::{AttrValue, AttributeDb};
@@ -46,4 +47,5 @@ pub use request::{ClassRequest, ObjectImplementation, PlacementRequest};
 pub use reservation::{ReservationRequest, ReservationToken, ReservationType, TokenMinter};
 pub use rge::{Event, EventKind, Guard, Outcall, Trigger, TriggerId};
 pub use time::{SimDuration, SimTime};
+pub use trace::{EpisodeId, Span, SpanId, SpanKind, SpanOutcome};
 pub use vault::{StorageStats, VaultDirectory, VaultObject};

@@ -7,8 +7,9 @@ use crate::metrics::MetricsLedger;
 use crate::rng::DetRng;
 use legion_core::{
     ClassObject, HostObject, LegionError, Loid, PlacementContext, SimDuration, SimTime,
-    VaultDirectory, VaultObject,
+    SpanKind, VaultDirectory, VaultObject,
 };
+use legion_trace::TraceSink;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -30,6 +31,7 @@ pub struct Fabric {
     /// Domain of every registered object (service objects included).
     locations: RwLock<BTreeMap<Loid, DomainId>>,
     metrics: Arc<MetricsLedger>,
+    tracer: Arc<TraceSink>,
     rng: DetRng,
     link_rng: Mutex<SmallRng>,
     chaos: Mutex<Option<ChaosState>>,
@@ -53,14 +55,19 @@ impl Fabric {
     pub fn new(topology: DomainTopology, seed: u64) -> Arc<Self> {
         let rng = DetRng::new(seed);
         let link_rng = Mutex::new(rng.stream("fabric-links"));
+        let clock = Arc::new(VirtualClock::new());
+        let tracer = TraceSink::new();
+        let clock_for_trace = Arc::clone(&clock);
+        tracer.set_clock(Arc::new(move || clock_for_trace.now()));
         Arc::new(Fabric {
-            clock: Arc::new(VirtualClock::new()),
+            clock,
             topology: RwLock::new(topology),
             hosts: RwLock::new(BTreeMap::new()),
             vaults: RwLock::new(BTreeMap::new()),
             classes: RwLock::new(BTreeMap::new()),
             locations: RwLock::new(BTreeMap::new()),
             metrics: Arc::new(MetricsLedger::default()),
+            tracer,
             rng,
             link_rng,
             chaos: Mutex::new(None),
@@ -162,6 +169,10 @@ impl Fabric {
         }
         let lat = topo.latency(a, b);
         self.metrics.charge_latency(lat);
+        // The clock does not advance for message latency; the active
+        // trace span (if any) absorbs it instead, so per-stage latency
+        // histograms see where the simulated network time went.
+        legion_trace::charge_active(lat);
         Ok(lat)
     }
 
@@ -185,6 +196,19 @@ impl Fabric {
     /// The metrics ledger.
     pub fn metrics(&self) -> &Arc<MetricsLedger> {
         &self.metrics
+    }
+
+    /// The trace sink. Disabled by default — spans are no-ops until
+    /// [`Fabric::enable_tracing`] is called — so untraced experiments
+    /// pay one atomic load per instrumentation point.
+    pub fn tracer(&self) -> &Arc<TraceSink> {
+        &self.tracer
+    }
+
+    /// Turns on pipeline tracing and returns the sink.
+    pub fn enable_tracing(&self) -> Arc<TraceSink> {
+        self.tracer.enable();
+        Arc::clone(&self.tracer)
     }
 
     /// The deterministic RNG factory.
@@ -239,8 +263,12 @@ impl Fabric {
             let ev = state.pending[state.next].clone();
             state.next += 1;
             MetricsLedger::bump(&self.metrics.faults_injected);
+            let span = self.tracer.span(SpanKind::Fault);
+            span.attr("due_us", ev.at.as_micros() as i64);
             match ev.action {
                 FaultAction::CrashHost(l) => {
+                    span.attr("action", "crash_host");
+                    span.attr("host", l.to_string());
                     // The host counts its own crash (idempotently); the
                     // fabric only delivers the fault.
                     if let Some(h) = self.hosts.read().get(&l) {
@@ -248,26 +276,39 @@ impl Fabric {
                     }
                 }
                 FaultAction::RestartHost(l) => {
+                    span.attr("action", "restart_host");
+                    span.attr("host", l.to_string());
                     if let Some(h) = self.hosts.read().get(&l) {
                         h.restart(now);
                     }
                 }
                 FaultAction::LoseVault(l) => {
+                    span.attr("action", "lose_vault");
+                    span.attr("vault", l.to_string());
                     if self.unregister_vault(l).is_some() {
                         MetricsLedger::bump(&self.metrics.vaults_lost);
                     }
                 }
                 FaultAction::Partition { a, b, heal_at } => {
+                    span.attr("action", "partition");
+                    span.attr("a", a.0 as i64);
+                    span.attr("b", b.0 as i64);
+                    span.attr("heal_at_us", heal_at.as_micros() as i64);
                     state.partitions.push((a, b, heal_at));
                     MetricsLedger::bump(&self.metrics.partitions_started);
                     network_dirty = true;
                 }
                 FaultAction::DegradeLinks { drop_prob, extra_latency, until } => {
+                    span.attr("action", "degrade_links");
+                    span.attr("drop_prob", drop_prob);
+                    span.attr("extra_latency_us", extra_latency.as_micros() as i64);
+                    span.attr("until_us", until.as_micros() as i64);
                     state.bursts.push((drop_prob, extra_latency, until));
                     MetricsLedger::bump(&self.metrics.link_bursts);
                     network_dirty = true;
                 }
             }
+            span.end_ok();
         }
 
         let before = state.partitions.len();

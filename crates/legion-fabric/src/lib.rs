@@ -19,6 +19,7 @@ pub mod domain;
 pub mod fabric;
 pub mod faults;
 pub mod metrics;
+pub mod reconcile;
 pub mod rng;
 
 pub use clock::VirtualClock;
@@ -26,4 +27,5 @@ pub use domain::{Domain, DomainId, DomainTopology};
 pub use fabric::Fabric;
 pub use faults::{FaultAction, FaultCounts, FaultEvent, FaultPlan};
 pub use metrics::{MetricsLedger, MetricsSnapshot};
+pub use reconcile::{reconcile_trace, reconciliation_report, Mismatch};
 pub use rng::DetRng;

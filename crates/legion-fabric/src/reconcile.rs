@@ -1,0 +1,155 @@
+//! Trace-vs-ledger reconciliation.
+//!
+//! The [`MetricsLedger`](crate::MetricsLedger) and the trace sink count
+//! the same pipeline independently: counters bump at each operation,
+//! spans open and close around it. When tracing is enabled over a whole
+//! run, the two views must agree exactly — each mismatch means an
+//! instrumentation point drifted from its counter. [`reconcile_trace`]
+//! checks every counter that has a span-level equivalent and reports
+//! the disagreements, so tests can assert a trace export is a faithful
+//! account of a run (the acceptance bar for the observability layer).
+
+use crate::metrics::MetricsSnapshot;
+use legion_core::SpanKind;
+use legion_trace::TraceRollup;
+
+/// One counter↔span correspondence that failed to reconcile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// The ledger counter name.
+    pub counter: &'static str,
+    /// The ledger's count over the reconciled window.
+    pub ledger: u64,
+    /// What the trace rollup says.
+    pub trace: u64,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: ledger={} trace={}", self.counter, self.ledger, self.trace)
+    }
+}
+
+/// The counter↔span mapping: which rollup quantity must equal which
+/// ledger counter. Every pair is exact — the instrumentation opens one
+/// span per counter bump (or, for `objects_started`, sums the spans'
+/// `started` attributes).
+fn expectations(rollup: &TraceRollup, delta: &MetricsSnapshot) -> Vec<Mismatch> {
+    let pairs: [(&'static str, u64, u64); 8] = [
+        ("collection_queries", delta.collection_queries, rollup.count(SpanKind::CollectionQuery)),
+        ("schedules_attempted", delta.schedules_attempted, rollup.count(SpanKind::ReserveAttempt)),
+        ("enactor_backoffs", delta.enactor_backoffs, rollup.count(SpanKind::Backoff)),
+        (
+            "enact_instantiations",
+            delta.enact_instantiations,
+            rollup.count(SpanKind::EnactInstantiation),
+        ),
+        ("objects_started", delta.objects_started, rollup.objects_started),
+        ("monitor_restarts", delta.monitor_restarts, rollup.ok_count(SpanKind::RestartFromOpr)),
+        (
+            "reservations_cancelled",
+            delta.reservations_cancelled,
+            rollup.ok_count(SpanKind::CancelReservation),
+        ),
+        ("schedules_reserved", delta.schedules_reserved, rollup.ok_count(SpanKind::MakeReservations)),
+    ];
+    pairs
+        .into_iter()
+        .map(|(counter, ledger, trace)| Mismatch { counter, ledger, trace })
+        .collect()
+}
+
+/// Checks every counter↔span correspondence between a trace rollup and
+/// a ledger delta covering the same window. Returns the mismatches
+/// (empty = the trace exactly accounts for the ledger).
+pub fn reconcile_trace(rollup: &TraceRollup, delta: &MetricsSnapshot) -> Vec<Mismatch> {
+    expectations(rollup, delta)
+        .into_iter()
+        .filter(|m| m.ledger != m.trace)
+        .collect()
+}
+
+/// Renders the full reconciliation table (matching rows included) — the
+/// human-readable companion to [`reconcile_trace`].
+pub fn reconciliation_report(rollup: &TraceRollup, delta: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<24} {:>10} {:>10}  status", "counter", "ledger", "trace");
+    for m in expectations(rollup, delta) {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>10}  {}",
+            m.counter,
+            m.ledger,
+            m.trace,
+            if m.ledger == m.trace { "ok" } else { "MISMATCH" },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::{Span, SpanId, SpanOutcome};
+    use legion_core::{AttrValue, EpisodeId, SimDuration, SimTime};
+
+    fn span(kind: SpanKind, outcome: SpanOutcome, attrs: Vec<(&'static str, AttrValue)>) -> Span {
+        Span {
+            id: SpanId(1),
+            parent: SpanId::NONE,
+            episode: EpisodeId::AMBIENT,
+            kind,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+            charged: SimDuration::ZERO,
+            outcome,
+            attrs,
+        }
+    }
+
+    #[test]
+    fn empty_trace_reconciles_with_empty_delta() {
+        let rollup = TraceRollup::from_spans(std::iter::empty());
+        assert!(reconcile_trace(&rollup, &MetricsSnapshot::default()).is_empty());
+    }
+
+    #[test]
+    fn matching_counts_reconcile() {
+        let spans = [
+            span(SpanKind::CollectionQuery, SpanOutcome::Ok, vec![]),
+            span(SpanKind::ReserveAttempt, SpanOutcome::ResourceUnavailable, vec![]),
+            span(SpanKind::ReserveAttempt, SpanOutcome::Ok, vec![]),
+            span(SpanKind::MakeReservations, SpanOutcome::Ok, vec![]),
+            span(SpanKind::StartObject, SpanOutcome::Ok, vec![("started", AttrValue::Int(2))]),
+        ];
+        let rollup = TraceRollup::from_spans(spans.iter());
+        let delta = MetricsSnapshot {
+            collection_queries: 1,
+            schedules_attempted: 2,
+            schedules_reserved: 1,
+            objects_started: 2,
+            ..Default::default()
+        };
+        assert!(reconcile_trace(&rollup, &delta).is_empty());
+        assert!(!reconciliation_report(&rollup, &delta).contains("MISMATCH"));
+    }
+
+    #[test]
+    fn failed_spans_do_not_count_toward_ok_counters() {
+        // A failed make_reservations span must NOT claim a
+        // schedules_reserved bump.
+        let spans =
+            [span(SpanKind::MakeReservations, SpanOutcome::ResourceUnavailable, vec![])];
+        let rollup = TraceRollup::from_spans(spans.iter());
+        assert!(reconcile_trace(&rollup, &MetricsSnapshot::default()).is_empty());
+
+        let delta = MetricsSnapshot { schedules_reserved: 1, ..Default::default() };
+        let mismatches = reconcile_trace(&rollup, &delta);
+        assert_eq!(mismatches.len(), 1);
+        assert_eq!(mismatches[0].counter, "schedules_reserved");
+        assert_eq!(mismatches[0].ledger, 1);
+        assert_eq!(mismatches[0].trace, 0);
+        assert!(reconciliation_report(&rollup, &delta).contains("MISMATCH"));
+    }
+}

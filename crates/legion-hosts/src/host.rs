@@ -19,10 +19,11 @@ use crate::restable::{ReservationTable, TableCapacity};
 use legion_core::host::well_known;
 use legion_core::{
     AttrValue, AttributeDb, Event, EventKind, HostObject, LegionError, Loid, LoidKind, ObjectSpec,
-    Opr, ReservationRequest, ReservationStatus, ReservationToken, SimTime, Trigger, TriggerId,
-    VaultDirectory, Outcall,
+    Opr, ReservationRequest, ReservationStatus, ReservationToken, SimTime, SpanKind, SpanOutcome,
+    Trigger, TriggerId, VaultDirectory, Outcall,
 };
 use legion_fabric::MetricsLedger;
+use legion_trace::TraceSink;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -130,6 +131,7 @@ pub struct StandardHost {
     load: Mutex<BackgroundLoad>,
     attrs_cache: RwLock<AttributeDb>,
     metrics: RwLock<Option<Arc<MetricsLedger>>>,
+    tracer: RwLock<Option<Arc<TraceSink>>>,
     draining: std::sync::atomic::AtomicBool,
     crashed: std::sync::atomic::AtomicBool,
 }
@@ -167,6 +169,7 @@ impl StandardHost {
             load: Mutex::new(BackgroundLoad::steady(0.0)),
             attrs_cache: RwLock::new(AttributeDb::new()),
             metrics: RwLock::new(None),
+            tracer: RwLock::new(None),
             draining: std::sync::atomic::AtomicBool::new(false),
             crashed: std::sync::atomic::AtomicBool::new(false),
             config,
@@ -199,6 +202,19 @@ impl StandardHost {
     /// Attaches the fabric metrics ledger.
     pub fn set_metrics(&self, m: Arc<MetricsLedger>) {
         *self.metrics.write() = Some(m);
+    }
+
+    /// Attaches the fabric trace sink so `start_object` calls emit
+    /// `start_object` spans.
+    pub fn set_tracer(&self, t: Arc<TraceSink>) {
+        *self.tracer.write() = Some(t);
+    }
+
+    fn start_span(&self) -> legion_trace::SpanGuard {
+        match self.tracer.read().as_ref() {
+            Some(t) => t.span(SpanKind::StartObject),
+            None => legion_trace::SpanGuard::disabled(),
+        }
     }
 
     /// Begins an administrative shutdown: new reservations are refused
@@ -374,6 +390,11 @@ impl HostObject for StandardHost {
         specs: &[ObjectSpec],
         now: SimTime,
     ) -> Result<Vec<Loid>, LegionError> {
+        let span = self.start_span();
+        span.attr("host", self.config.name.as_str());
+        span.attr("class", token.class.to_string());
+        span.attr("specs", specs.len() as i64);
+        let result = (|| -> Result<Vec<Loid>, LegionError> {
         self.ensure_up()?;
         if specs.is_empty() {
             return Err(LegionError::Other("start_object with no specs".into()));
@@ -438,6 +459,15 @@ impl HostObject for StandardHost {
         self.bump(|m| MetricsLedger::bump_by(&m.objects_started, started.len() as u64));
         self.refresh_attrs(now);
         Ok(started)
+        })();
+        match &result {
+            Ok(started) => {
+                span.attr("started", started.len() as i64);
+                span.end_ok();
+            }
+            Err(e) => span.end_with(SpanOutcome::from_error(e)),
+        }
+        result
     }
 
     fn kill_object(&self, object: Loid) -> Result<(), LegionError> {

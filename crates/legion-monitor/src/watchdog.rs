@@ -10,7 +10,7 @@
 //! shutdown/restart purposes" (§2.1) — by reactivating the dead host's
 //! objects from their vault OPRs on live hosts.
 
-use legion_core::{Loid, LoidKind, PlacementContext, SimTime, VaultDirectory};
+use legion_core::{Loid, LoidKind, PlacementContext, SimTime, SpanKind, SpanOutcome, VaultDirectory};
 use legion_fabric::{Fabric, MetricsLedger};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -112,6 +112,8 @@ impl Watchdog {
     /// OPR, on the first live host that accepts the reactivation.
     fn recover_host(&self, dead: Loid, now: SimTime) -> Vec<RestartRecord> {
         let mut records = Vec::new();
+        let episode = self.fabric.tracer().begin_episode("recover", dead);
+        episode.attr("host", dead.to_string());
         for class_loid in self.fabric.class_loids() {
             let Some(class) = self.fabric.lookup_class(class_loid) else { continue };
             for (instance, placed_on) in class.instances() {
@@ -129,6 +131,12 @@ impl Watchdog {
                 };
                 let Some(vault) = self.fabric.lookup_vault(vault_loid) else { continue };
                 let Ok(opr) = vault.fetch_opr(instance) else { continue };
+
+                let span = self.fabric.tracer().span(SpanKind::RestartFromOpr);
+                span.attr("object", instance.to_string());
+                span.attr("from", dead.to_string());
+                span.attr("vault", vault_loid.to_string());
+                let mut restarted = false;
 
                 // First live host that accepts the reactivation wins.
                 // If a candidate cannot reach the holding vault, the OPR
@@ -164,6 +172,9 @@ impl Watchdog {
                         }
                         class.note_instance_location(instance, candidate);
                         MetricsLedger::bump(&self.fabric.metrics().monitor_restarts);
+                        span.attr("to", candidate.to_string());
+                        span.attr("via", via.to_string());
+                        restarted = true;
                         records.push(RestartRecord {
                             object: instance,
                             from: dead,
@@ -178,8 +189,15 @@ impl Watchdog {
                         }
                     }
                 }
+                if restarted {
+                    span.end_ok();
+                } else {
+                    span.end_with(SpanOutcome::ResourceUnavailable);
+                }
             }
         }
+        episode.attr("restarted", records.len() as i64);
+        episode.end_with(SpanOutcome::Ok);
         records
     }
 }

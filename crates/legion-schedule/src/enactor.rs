@@ -34,7 +34,8 @@ use crate::schedule::{
 };
 use legion_core::{
     LegionError, Loid, LoidKind, Placement, PlacementContext, ReservationRequest,
-    ReservationStatus, ReservationToken, ReservationType, SimDuration, SimTime,
+    ReservationStatus, ReservationToken, ReservationType, SimDuration, SimTime, SpanKind,
+    SpanOutcome,
 };
 use legion_fabric::{Fabric, MetricsLedger};
 use std::collections::HashSet;
@@ -168,19 +169,34 @@ impl Enactor {
         host.make_reservation(&self.request_for(m), now)
     }
 
-    /// Cancels one held token (best effort; the host may be gone).
+    /// Cancels one held token (best effort; the host may be gone). The
+    /// span absorbs the cancel message's simulated latency, so the
+    /// enact-stage histograms include the cancel path — previously the
+    /// ledger counted cancels without any sim-time reading.
     fn cancel_one(&self, token: &ReservationToken) {
-        if self.fabric.link(self.loid, token.host).is_ok() {
-            if let Some(host) = self.fabric.lookup_host(token.host) {
-                let _ = host.cancel_reservation(token);
-            }
+        let span = self.fabric.tracer().span(SpanKind::CancelReservation);
+        span.attr("host", token.host.to_string());
+        if self.fabric.link(self.loid, token.host).is_err() {
+            span.end_with(SpanOutcome::Infrastructure);
+            return;
+        }
+        let Some(host) = self.fabric.lookup_host(token.host) else {
+            span.end_with(SpanOutcome::HostDown);
+            return;
+        };
+        match host.cancel_reservation(token) {
+            Ok(()) => span.end_ok(),
+            Err(e) => span.end_with(SpanOutcome::from_error(&e)),
         }
     }
 
     /// `make_reservations` (Fig. 6): walk the request list, trying each
     /// master and its variants until one schedule fully reserves.
     pub fn make_reservations(&self, request: &ScheduleRequestList) -> ScheduleFeedback {
+        let span = self.fabric.tracer().span(SpanKind::MakeReservations);
+        span.attr("schedules", request.schedules.len() as i64);
         if let Err(LegionError::MalformedSchedule(why)) = request.validate() {
+            span.end_with(SpanOutcome::Malformed);
             return ScheduleFeedback {
                 request: request.clone(),
                 outcome: ScheduleOutcome::Failed(FailureClass::Malformed(why)),
@@ -198,6 +214,9 @@ impl Enactor {
             match self.reserve_schedule(sched, deadline) {
                 Ok((variant, mappings, tokens)) => {
                     MetricsLedger::bump(&self.metrics().schedules_reserved);
+                    span.attr("schedule", si as i64);
+                    span.attr("variant", variant.map(|v| v as i64).unwrap_or(-1));
+                    span.end_ok();
                     return ScheduleFeedback {
                         request: request.clone(),
                         outcome: ScheduleOutcome::Reserved { schedule: si, variant },
@@ -214,6 +233,7 @@ impl Enactor {
             }
         }
 
+        span.end_with(failure.span_outcome());
         ScheduleFeedback {
             request: request.clone(),
             outcome: ScheduleOutcome::Failed(failure),
@@ -267,6 +287,14 @@ impl Enactor {
             }
             attempts += 1;
             MetricsLedger::bump(&self.metrics().schedules_attempted);
+            let attempt_span = self.fabric.tracer().span(SpanKind::ReserveAttempt);
+            attempt_span.attr("attempt", attempts as i64);
+            attempt_span.attr("variant", plan.map(|v| v as i64).unwrap_or(-1));
+            // Positions whose reservation the bitmap walk carried over
+            // from the previous attempt — each one is a cancel+remake
+            // (thrash) the variant structure avoided.
+            attempt_span
+                .attr("kept", held.iter().filter(|slot| slot.is_some()).count() as i64);
 
             // A backoff may have outlived a held token's confirmation
             // timeout — drop any hold that is no longer live so the
@@ -293,12 +321,14 @@ impl Enactor {
             // mapping; remember which positions fail and why.
             let mut failed: Vec<usize> = Vec::new();
             let mut errors: Vec<LegionError> = Vec::new();
+            let mut thrash = 0i64;
             for i in 0..n {
                 if held[i].is_some() {
                     continue;
                 }
                 if cancelled_before.contains(&(i, current[i].clone())) {
                     MetricsLedger::bump(&self.metrics().reservation_thrash);
+                    thrash += 1;
                 }
                 match self.reserve_one(&current[i]) {
                     Ok(tok) => held[i] = Some(tok),
@@ -308,12 +338,16 @@ impl Enactor {
                     }
                 }
             }
+            attempt_span.attr("thrash", thrash);
+            attempt_span.attr("failed", failed.len() as i64);
 
             if failed.is_empty() {
+                attempt_span.end_ok();
                 let tokens = held.into_iter().map(|t| t.expect("all positions held")).collect();
                 return Ok((plan, current, tokens));
             }
             failure = Self::classify_attempt(&errors);
+            attempt_span.end_with(failure.span_outcome());
 
             if attempts >= self.config.max_attempts {
                 break;
@@ -339,7 +373,11 @@ impl Enactor {
                     failure = FailureClass::DeadlineExceeded;
                     break;
                 }
+                let backoff_span = self.fabric.tracer().span(SpanKind::Backoff);
+                backoff_span.attr("delay_us", delay.as_micros() as i64);
+                backoff_span.attr("attempt", attempts as i64);
                 self.fabric.clock().advance(delay);
+                backoff_span.end_ok();
                 MetricsLedger::bump(&self.metrics().enactor_backoffs);
                 backoff = SimDuration::from_micros(
                     (backoff.as_micros() * 2).min(self.config.backoff_cap.as_micros()),
@@ -446,11 +484,20 @@ impl Enactor {
         &self,
         feedback: &ScheduleFeedback,
     ) -> Result<Vec<(Mapping, Loid)>, LegionError> {
+        let span = self.fabric.tracer().span(SpanKind::EnactSchedule);
+        span.attr("mappings", feedback.mappings.len() as i64);
         if !feedback.reserved() {
+            span.end_with(SpanOutcome::Error("unreserved feedback".into()));
             return Err(LegionError::Other("enact_schedule on unreserved feedback".into()));
         }
         let mut created: Vec<(Mapping, Loid)> = Vec::with_capacity(feedback.mappings.len());
         for (m, tok) in feedback.mappings.iter().zip(&feedback.reservations) {
+            let inst_span = self.fabric.tracer().span(SpanKind::EnactInstantiation);
+            inst_span.attr("class", m.class.to_string());
+            inst_span.attr("host", m.host.to_string());
+            // Count the attempt up front so the counter and the span
+            // agree even when the instantiation message is lost.
+            MetricsLedger::bump(&self.metrics().enact_instantiations);
             let step = (|| -> Result<Loid, LegionError> {
                 self.fabric.link(self.loid, m.class)?;
                 let class = self
@@ -459,12 +506,15 @@ impl Enactor {
                     .ok_or(LegionError::NoSuchObject(m.class))?;
                 let placement =
                     Placement { host: m.host, vault: m.vault, token: tok.clone() };
-                MetricsLedger::bump(&self.metrics().enact_instantiations);
                 class.create_instance(Some(placement), &*self.fabric)
             })();
             match step {
-                Ok(instance) => created.push((m.clone(), instance)),
+                Ok(instance) => {
+                    inst_span.end_ok();
+                    created.push((m.clone(), instance));
+                }
                 Err(e) => {
+                    inst_span.end_with(SpanOutcome::from_error(&e));
                     if self.config.atomic_enact {
                         // Roll back: destroy started instances, release
                         // the unused reservations.
@@ -479,10 +529,14 @@ impl Enactor {
                             self.cancel_one(tok);
                         }
                     }
+                    span.attr("created", created.len() as i64);
+                    span.end_with(SpanOutcome::from_error(&e));
                     return Err(e);
                 }
             }
         }
+        span.attr("created", created.len() as i64);
+        span.end_ok();
         Ok(created)
     }
 }

@@ -247,6 +247,19 @@ impl FailureClass {
     pub fn is_transient(&self) -> bool {
         !matches!(self, FailureClass::Malformed(_))
     }
+
+    /// The trace-span outcome this failure class maps to — one-to-one,
+    /// so trace assertions can match scheduler feedback exactly.
+    pub fn span_outcome(&self) -> legion_core::SpanOutcome {
+        use legion_core::SpanOutcome;
+        match self {
+            FailureClass::ResourceUnavailable => SpanOutcome::ResourceUnavailable,
+            FailureClass::Malformed(_) => SpanOutcome::Malformed,
+            FailureClass::Infrastructure => SpanOutcome::Infrastructure,
+            FailureClass::HostDown => SpanOutcome::HostDown,
+            FailureClass::DeadlineExceeded => SpanOutcome::DeadlineExceeded,
+        }
+    }
 }
 
 /// The outcome reported in feedback.

@@ -21,7 +21,7 @@
 //! the scheduler's own; the driver carries the first two.
 
 use crate::traits::{SchedCtx, Scheduler};
-use legion_core::{LegionError, Loid, PlacementRequest};
+use legion_core::{EpisodeId, LegionError, Loid, PlacementRequest, SpanKind, SpanOutcome};
 use legion_schedule::{Enactor, Mapping, ScheduleFeedback};
 
 /// Retry limits for the wrapper loop.
@@ -50,6 +50,11 @@ pub struct DriverReport {
     pub reservation_rounds: usize,
     /// The final feedback (for inspection).
     pub feedback: Option<ScheduleFeedback>,
+    /// The trace episode this placement ran under (`None` when the
+    /// fabric's tracer is disabled). Feed it to
+    /// `TraceSink::episode_spans` / `rollup_for` to replay the
+    /// placement as a span tree.
+    pub episode: Option<EpisodeId>,
 }
 
 /// Drives a Scheduler against an Enactor with Fig. 9's retry loops.
@@ -75,11 +80,21 @@ impl<'a> ScheduleDriver<'a> {
     }
 
     /// Runs the wrapper loop to place `request`.
+    ///
+    /// One `place` call is one trace *episode*: the episode root span
+    /// covers the whole wrapper loop, each `compute_schedule` call gets
+    /// a `schedule` span (the Collection queries it issues nest inside),
+    /// and the Enactor's reservation/enactment spans follow.
     pub fn place(
         &self,
         request: &PlacementRequest,
         ctx: &SchedCtx,
     ) -> Result<DriverReport, LegionError> {
+        let root = request.items.first().map(|i| i.class).unwrap_or(Loid::NIL);
+        let episode = ctx.fabric.tracer().begin_episode("place", root);
+        episode.attr("scheduler", self.scheduler.name());
+        episode.attr("classes", request.items.len() as i64);
+        let episode_id = episode.id();
         let mut generations = 0usize;
         let mut reservation_rounds = 0;
         let mut last_err = LegionError::AllSchedulesFailed { attempted: 0 };
@@ -87,9 +102,17 @@ impl<'a> ScheduleDriver<'a> {
         #[allow(clippy::explicit_counter_loop)] // generations outlives the loop for the report
         for _ in 0..self.limits.sched_try_limit {
             generations += 1;
+            let sched_span = ctx.fabric.tracer().span(SpanKind::Schedule);
+            sched_span.attr("scheduler", self.scheduler.name());
+            sched_span.attr("generation", generations as i64);
             let sched = match self.scheduler.compute_schedule(request, ctx) {
-                Ok(s) => s,
+                Ok(s) => {
+                    sched_span.attr("schedules", s.schedules.len() as i64);
+                    sched_span.end_ok();
+                    s
+                }
                 Err(e) => {
+                    sched_span.end_with(SpanOutcome::from_error(&e));
                     last_err = e;
                     continue;
                 }
@@ -102,11 +125,15 @@ impl<'a> ScheduleDriver<'a> {
                 }
                 match self.enactor.enact_schedule(&feedback) {
                     Ok(placed) => {
+                        episode.attr("generations", generations as i64);
+                        episode.attr("placed", placed.len() as i64);
+                        episode.end_with(SpanOutcome::Ok);
                         return Ok(DriverReport {
                             placed,
                             generations,
                             reservation_rounds,
                             feedback: Some(feedback),
+                            episode: episode_id,
                         });
                     }
                     Err(e) => {
@@ -117,6 +144,8 @@ impl<'a> ScheduleDriver<'a> {
                 }
             }
         }
+        episode.attr("generations", generations as i64);
+        episode.end_with(SpanOutcome::from_error(&last_err));
         Err(last_err)
     }
 }

@@ -1,0 +1,290 @@
+//! Trace export: JSON documents and human-readable reports.
+//!
+//! The JSON is hand-rolled (schema `legion-trace/v1`) so downstream
+//! tooling can parse episodes, spans and per-stage histograms; the text
+//! reports render one episode as an indented span tree and the whole
+//! run as a per-stage latency table.
+
+use crate::histogram::HistogramSnapshot;
+use crate::sink::TraceSink;
+use legion_core::{AttrValue, EpisodeId, Span, SpanId, SpanKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn attr_json(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Int(i) => i.to_string(),
+        AttrValue::Float(f) if f.is_finite() => f.to_string(),
+        AttrValue::Float(_) => "null".to_string(),
+        AttrValue::Str(s) => format!("\"{}\"", json_escape(s)),
+        AttrValue::Bool(b) => b.to_string(),
+        AttrValue::List(l) => {
+            let items: Vec<String> = l.iter().map(attr_json).collect();
+            format!("[{}]", items.join(","))
+        }
+    }
+}
+
+fn span_json(s: &Span) -> String {
+    let mut attrs = String::new();
+    for (i, (k, v)) in s.attrs.iter().enumerate() {
+        if i > 0 {
+            attrs.push(',');
+        }
+        let _ = write!(attrs, "\"{}\": {}", json_escape(k), attr_json(v));
+    }
+    format!(
+        "{{\"id\": {}, \"parent\": {}, \"episode\": \"{}\", \"kind\": \"{}\", \
+         \"start_us\": {}, \"end_us\": {}, \"charged_us\": {}, \"duration_us\": {}, \
+         \"outcome\": \"{}\", \"attrs\": {{{}}}}}",
+        s.id.0,
+        s.parent.0,
+        s.episode,
+        s.kind,
+        s.start.as_micros(),
+        s.end.as_micros(),
+        s.charged.as_micros(),
+        s.duration().as_micros(),
+        json_escape(s.outcome.label()),
+        attrs,
+    )
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+    format!(
+        "{{\"count\": {}, \"sum_us\": {}, \"max_us\": {}, \"mean_us\": {:.1}, \
+         \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"buckets\": [{}]}}",
+        h.count(),
+        h.sum_us,
+        h.max_us,
+        h.mean_us(),
+        h.p50_us(),
+        h.p95_us(),
+        h.p99_us(),
+        buckets.join(","),
+    )
+}
+
+/// Renders every closed span, episode and per-stage histogram in the
+/// sink as a `legion-trace/v1` JSON document.
+pub fn trace_json(sink: &TraceSink) -> String {
+    let spans = sink.spans();
+    let rollup = sink.rollup();
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"legion-trace/v1\",\n");
+    let _ = writeln!(out, "  \"span_count\": {},", spans.len());
+
+    out.push_str("  \"episodes\": [\n");
+    let episodes = sink.episodes();
+    for (i, (ep, label)) in episodes.iter().enumerate() {
+        let n = spans.iter().filter(|s| s.episode == *ep).count();
+        let _ = writeln!(
+            out,
+            "    {{\"episode\": \"{}\", \"seq\": {}, \"root\": \"{}\", \"label\": \"{}\", \"spans\": {}}}{}",
+            ep,
+            ep.seq,
+            ep.root,
+            json_escape(label),
+            n,
+            if i + 1 == episodes.len() { "" } else { "," },
+        );
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"spans\": [\n");
+    for (i, s) in spans.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {}{}",
+            span_json(s),
+            if i + 1 == spans.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"histograms\": {\n");
+    for (i, kind) in SpanKind::ALL.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"{}\": {}{}",
+            kind,
+            histogram_json(rollup.histogram(*kind)),
+            if i + 1 == SpanKind::ALL.len() { "" } else { "," },
+        );
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Renders one episode's spans as an indented tree with timings,
+/// outcomes and attributes — the "where did the time go" view of a
+/// single placement or recovery.
+pub fn episode_report(sink: &TraceSink, episode: EpisodeId) -> String {
+    let spans = sink.episode_spans(episode);
+    if spans.is_empty() {
+        return format!("{episode}: no spans recorded\n");
+    }
+    let mut children: BTreeMap<SpanId, Vec<&Span>> = BTreeMap::new();
+    let ids: std::collections::BTreeSet<SpanId> = spans.iter().map(|s| s.id).collect();
+    for s in &spans {
+        // Spans whose parent closed outside this episode render at root.
+        let parent = if ids.contains(&s.parent) { s.parent } else { SpanId::NONE };
+        children.entry(parent).or_default().push(s);
+    }
+    let mut out = format!("trace {episode}\n");
+    let mut stack: Vec<(&Span, usize)> = Vec::new();
+    if let Some(roots) = children.get(&SpanId::NONE) {
+        for r in roots.iter().rev() {
+            stack.push((r, 0));
+        }
+    }
+    while let Some((s, depth)) = stack.pop() {
+        let _ = write!(
+            out,
+            "{:indent$}{} [{}] {} -> {} (dur {}",
+            "",
+            s.kind,
+            s.outcome,
+            s.start,
+            s.end,
+            s.duration(),
+            indent = 2 + depth * 2,
+        );
+        if s.charged.as_micros() > 0 {
+            let _ = write!(out, ", charged {}", s.charged);
+        }
+        out.push(')');
+        for (k, v) in &s.attrs {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+        if let Some(kids) = children.get(&s.id) {
+            for k in kids.iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the per-stage latency table over every closed span: count,
+/// ok-count, mean and tail percentiles per [`SpanKind`].
+pub fn latency_report(sink: &TraceSink) -> String {
+    let rollup = sink.rollup();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>7} {:>7} {:>10} {:>9} {:>9} {:>9} {:>10}",
+        "stage", "count", "ok", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"
+    );
+    for kind in SpanKind::ALL {
+        let h = rollup.histogram(kind);
+        if h.count() == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<20} {:>7} {:>7} {:>10.1} {:>9} {:>9} {:>9} {:>10}",
+            kind.as_str(),
+            h.count(),
+            rollup.ok_count(kind),
+            h.mean_us(),
+            h.p50_us(),
+            h.p95_us(),
+            h.p99_us(),
+            h.max_us,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::{Loid, LoidKind, SpanOutcome};
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn attr_json_forms() {
+        assert_eq!(attr_json(&AttrValue::Int(-3)), "-3");
+        assert_eq!(attr_json(&AttrValue::Bool(true)), "true");
+        assert_eq!(attr_json(&AttrValue::Str("x\"y".into())), "\"x\\\"y\"");
+        assert_eq!(
+            attr_json(&AttrValue::List(vec![AttrValue::Int(1), AttrValue::Bool(false)])),
+            "[1,false]"
+        );
+        assert_eq!(attr_json(&AttrValue::Float(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn trace_json_has_schema_and_balanced_braces() {
+        let sink = TraceSink::new();
+        sink.enable();
+        let ep = sink.begin_episode("place", Loid::synthetic(LoidKind::Class, 9));
+        let g = sink.span(SpanKind::Schedule);
+        g.attr("scheduler", "random");
+        g.end_ok();
+        ep.end_with(SpanOutcome::Ok);
+
+        let json = trace_json(&sink);
+        assert!(json.contains("\"schema\": \"legion-trace/v1\""));
+        assert!(json.contains("\"span_count\": 2"));
+        assert!(json.contains("\"kind\": \"schedule\""));
+        assert!(json.contains("\"scheduler\": \"random\""));
+        let open = json.matches(['{', '[']).count();
+        let close = json.matches(['}', ']']).count();
+        assert_eq!(open, close, "balanced brackets");
+    }
+
+    #[test]
+    fn episode_report_indents_children() {
+        let sink = TraceSink::new();
+        sink.enable();
+        let ep = sink.begin_episode("place", Loid::synthetic(LoidKind::Class, 9));
+        let id = ep.id().unwrap();
+        let outer = sink.span(SpanKind::MakeReservations);
+        sink.span(SpanKind::ReserveAttempt).end_ok();
+        outer.end_ok();
+        ep.end_with(SpanOutcome::Ok);
+
+        let report = episode_report(&sink, id);
+        assert!(report.contains("  episode"));
+        assert!(report.contains("    make_reservations"));
+        assert!(report.contains("      reserve_attempt"));
+        assert!(episode_report(&sink, EpisodeId::AMBIENT).contains("no spans"));
+    }
+
+    #[test]
+    fn latency_report_lists_only_recorded_stages() {
+        let sink = TraceSink::new();
+        sink.enable();
+        sink.span(SpanKind::CollectionQuery).end_ok();
+        let report = latency_report(&sink);
+        assert!(report.contains("collection_query"));
+        assert!(!report.contains("restart_from_opr"));
+    }
+}

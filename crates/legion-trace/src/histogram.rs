@@ -1,0 +1,257 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! Span durations land in power-of-two buckets: bucket 0 holds exact
+//! zeros, bucket `i` (for `i >= 1`) holds durations in
+//! `[2^(i-1), 2^i)` microseconds. Forty buckets cover everything up to
+//! ~2^39 µs (≈ 6.4 virtual days) — far beyond any experiment horizon;
+//! longer durations clamp into the last bucket.
+//!
+//! The live [`LatencyHistogram`] is an array of atomics so span closing
+//! never takes a lock; analysis works on [`HistogramSnapshot`] copies,
+//! whose merge is associative and commutative (verified by the property
+//! suite), so per-thread or per-episode histograms can be combined in
+//! any order.
+
+use legion_core::SimDuration;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets.
+pub const BUCKETS: usize = 40;
+
+/// The bucket a duration of `us` microseconds falls in.
+pub fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`, in microseconds (the value
+/// percentile queries report).
+pub fn bucket_upper_us(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A lock-free latency histogram over span durations.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: SimDuration) {
+        let us = d.as_micros();
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all buckets.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum_us.store(0, Ordering::Relaxed);
+        self.max_us.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable histogram copy: counts per log2 bucket plus sum and max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Count per log2 bucket (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of recorded durations, µs.
+    pub sum_us: u64,
+    /// Largest recorded duration, µs.
+    pub max_us: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; BUCKETS], sum_us: 0, max_us: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration into the snapshot (for rebuilding a
+    /// histogram from stored spans).
+    pub fn record(&mut self, d: SimDuration) {
+        let us = d.as_micros();
+        self.buckets[bucket_of(us)] += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Total recorded durations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Merges two histograms; associative and commutative.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = *self;
+        for (b, o) in out.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        out.sum_us += other.sum_us;
+        out.max_us = out.max_us.max(other.max_us);
+        out
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the inclusive upper bound of
+    /// the bucket holding the rank-`ceil(q·count)` duration. Returns 0
+    /// for an empty histogram. The reported value over-approximates the
+    /// true quantile by at most 2× (the bucket width).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report past the observed maximum.
+                return bucket_upper_us(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Median, µs (bucket upper bound).
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 95th percentile, µs (bucket upper bound).
+    pub fn p95_us(&self) -> u64 {
+        self.quantile_us(0.95)
+    }
+
+    /// 99th percentile, µs (bucket upper bound).
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Mean, µs (exact, from the sum).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_us(0), 0);
+        assert_eq!(bucket_upper_us(1), 1);
+        assert_eq!(bucket_upper_us(11), 2047);
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = LatencyHistogram::new();
+        for us in [0, 10, 20, 40, 80, 160, 320, 640, 1280, 100_000] {
+            h.record(SimDuration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 10);
+        assert_eq!(s.max_us, 100_000);
+        assert!(s.p50_us() >= 40 && s.p50_us() < 160, "p50={}", s.p50_us());
+        assert_eq!(s.quantile_us(1.0), 100_000);
+        assert_eq!(s.quantile_us(0.0), 0);
+    }
+
+    #[test]
+    fn quantile_capped_by_max() {
+        let mut s = HistogramSnapshot::empty();
+        s.record(SimDuration::from_micros(1025)); // bucket 11, upper 2047
+        assert_eq!(s.p99_us(), 1025, "never reports past the observed max");
+    }
+
+    #[test]
+    fn merge_matches_bulk_record() {
+        let mut a = HistogramSnapshot::empty();
+        let mut b = HistogramSnapshot::empty();
+        let mut all = HistogramSnapshot::empty();
+        for us in [5, 17, 90] {
+            a.record(SimDuration::from_micros(us));
+            all.record(SimDuration::from_micros(us));
+        }
+        for us in [0, 2048, 17] {
+            b.record(SimDuration::from_micros(us));
+            all.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(a.merge(&b), all);
+        assert_eq!(b.merge(&a), all, "commutative");
+    }
+
+    #[test]
+    fn empty_is_identity() {
+        let mut s = HistogramSnapshot::empty();
+        s.record(SimDuration::from_micros(42));
+        assert_eq!(s.merge(&HistogramSnapshot::empty()), s);
+        assert_eq!(HistogramSnapshot::empty().merge(&s), s);
+        assert_eq!(HistogramSnapshot::empty().quantile_us(0.99), 0);
+    }
+}

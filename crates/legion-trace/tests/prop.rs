@@ -1,0 +1,163 @@
+//! Property-based tests on the trace sink and histograms.
+//!
+//! The sink must stay structurally sound under *any* interleaving of
+//! span opens, out-of-order closes, clock advances and latency charges:
+//! no span ends before it starts, no child outlives its parentage (a
+//! recorded parent id always names a recorded span that opened first),
+//! and the per-stage histograms count exactly the closed spans.
+
+use legion_trace::{HistogramSnapshot, SpanKind, TraceSink};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use legion_core::{Loid, SimDuration, SimTime};
+
+/// One scripted action against the sink.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Open a span of `SpanKind::ALL[kind]` and push its guard.
+    Open { kind: usize },
+    /// Open an episode (a root span) and push its guard.
+    OpenEpisode,
+    /// Close the guard at `slot % live.len()` (drop path, any order).
+    Close { slot: usize },
+    /// Advance the fake virtual clock.
+    Advance { us: u32 },
+    /// Charge message latency to whatever span is innermost.
+    Charge { us: u32 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..SpanKind::COUNT).prop_map(|kind| Op::Open { kind }),
+        Just(Op::OpenEpisode),
+        (0usize..64).prop_map(|slot| Op::Close { slot }),
+        (0u32..5_000_000).prop_map(|us| Op::Advance { us }),
+        (0u32..2_000_000).prop_map(|us| Op::Charge { us }),
+    ]
+}
+
+/// Guards of either flavour, closable in any order. The fields exist
+/// only to keep the guards alive until the script closes them.
+#[allow(dead_code)]
+enum Live {
+    Span(legion_trace::SpanGuard),
+    Episode(legion_trace::EpisodeGuard),
+}
+
+proptest! {
+    /// Arbitrary interleavings leave the sink structurally sound.
+    #[test]
+    fn interleaved_spans_stay_sound(ops in proptest::collection::vec(arb_op(), 0..80)) {
+        let sink = TraceSink::new();
+        sink.enable();
+        let t = Arc::new(AtomicU64::new(0));
+        let tc = Arc::clone(&t);
+        sink.set_clock(Arc::new(move || SimTime::from_micros(tc.load(Ordering::Relaxed))));
+
+        let mut live: Vec<Live> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Open { kind } => live.push(Live::Span(sink.span(SpanKind::ALL[kind]))),
+                Op::OpenEpisode => {
+                    live.push(Live::Episode(sink.begin_episode("prop", Loid::NIL)))
+                }
+                Op::Close { slot } => {
+                    if !live.is_empty() {
+                        let i = slot % live.len();
+                        drop(live.remove(i));
+                    }
+                }
+                Op::Advance { us } => {
+                    t.fetch_add(u64::from(us), Ordering::Relaxed);
+                }
+                Op::Charge { us } => {
+                    legion_trace::charge_active(SimDuration::from_micros(u64::from(us)));
+                }
+            }
+        }
+        drop(live);
+
+        prop_assert_eq!(sink.open_spans(), 0, "every guard closed its span");
+        let spans = sink.spans();
+        for s in &spans {
+            prop_assert!(s.end >= s.start, "span ended before it started: {:?}", s);
+            if s.parent.is_some() {
+                let parent = spans.iter().find(|p| p.id == s.parent);
+                prop_assert!(parent.is_some(), "orphaned child: {:?}", s);
+                prop_assert!(parent.unwrap().id < s.id, "parent opened after child: {:?}", s);
+            }
+        }
+
+        // Histograms count exactly the closed spans, stage by stage.
+        let mut total = 0;
+        for kind in SpanKind::ALL {
+            let expected = spans.iter().filter(|s| s.kind == kind).count() as u64;
+            prop_assert_eq!(sink.histogram(kind).count(), expected);
+            total += expected;
+        }
+        prop_assert_eq!(total, spans.len() as u64);
+        prop_assert_eq!(sink.rollup().total(), spans.len() as u64);
+    }
+
+    /// Histogram merge is commutative, and counts/sums are exact.
+    #[test]
+    fn histogram_merge_commutes(
+        xs in proptest::collection::vec(0u64..10_000_000, 0..40),
+        ys in proptest::collection::vec(0u64..10_000_000, 0..40),
+    ) {
+        let snap = |vals: &[u64]| {
+            let mut h = HistogramSnapshot::empty();
+            for &v in vals {
+                h.record(SimDuration::from_micros(v));
+            }
+            h
+        };
+        let (a, b) = (snap(&xs), snap(&ys));
+        let ab = a.merge(&b);
+        let ba = b.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), (xs.len() + ys.len()) as u64);
+        let sum: u64 = xs.iter().chain(ys.iter()).sum();
+        prop_assert_eq!(ab.sum_us, sum);
+        prop_assert_eq!(ab.max_us, xs.iter().chain(ys.iter()).copied().max().unwrap_or(0));
+    }
+
+    /// Histogram merge is associative.
+    #[test]
+    fn histogram_merge_associates(
+        xs in proptest::collection::vec(0u64..10_000_000, 0..30),
+        ys in proptest::collection::vec(0u64..10_000_000, 0..30),
+        zs in proptest::collection::vec(0u64..10_000_000, 0..30),
+    ) {
+        let snap = |vals: &[u64]| {
+            let mut h = HistogramSnapshot::empty();
+            for &v in vals {
+                h.record(SimDuration::from_micros(v));
+            }
+            h
+        };
+        let (a, b, c) = (snap(&xs), snap(&ys), snap(&zs));
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    }
+
+    /// Quantiles are monotone in `q` and bounded by the observed max.
+    #[test]
+    fn quantiles_monotone_and_bounded(
+        xs in proptest::collection::vec(0u64..100_000_000, 1..50),
+    ) {
+        let mut h = HistogramSnapshot::empty();
+        for &v in &xs {
+            h.record(SimDuration::from_micros(v));
+        }
+        let max = *xs.iter().max().unwrap();
+        let mut prev = 0;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            let v = h.quantile_us(q);
+            prop_assert!(v >= prev, "quantiles must not decrease");
+            prop_assert!(v <= max, "quantile {} exceeds observed max {}", v, max);
+            prev = v;
+        }
+    }
+}

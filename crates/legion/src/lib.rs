@@ -17,6 +17,7 @@
 //! | Network Objects (§6 future work, implemented) | [`network`] |
 //! | Testbeds, workloads, experiment harness | [`apps`] |
 //! | The regex engine behind Collection `match()` | [`regex`] |
+//! | Pipeline tracing + latency histograms (observability) | [`trace`] |
 //!
 //! ## Quickstart
 //!
@@ -95,6 +96,11 @@ pub mod regex {
     pub use legion_regex::*;
 }
 
+/// Pipeline tracing and latency histograms (re-export of `legion-trace`).
+pub mod trace {
+    pub use legion_trace::*;
+}
+
 /// Commonly used items in one import.
 pub mod prelude {
     pub use legion_apps::{Testbed, TestbedConfig};
@@ -114,6 +120,9 @@ pub mod prelude {
     pub use legion_schedulers::{
         IrsScheduler, KOfNScheduler, LoadAwareScheduler, PriceAwareScheduler, RandomScheduler,
         RoundRobinScheduler, SchedCtx, ScheduleDriver, Scheduler, StencilScheduler,
+    };
+    pub use legion_trace::{
+        episode_report, latency_report, trace_json, SpanKind, SpanOutcome, TraceRollup, TraceSink,
     };
     pub use legion_vaults::{StandardVault, VaultConfig};
 }

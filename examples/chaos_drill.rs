@@ -15,6 +15,7 @@ use legion::prelude::*;
 fn main() {
     let tb = Testbed::build(TestbedConfig::wide(2, 3, 77));
     let class = tb.register_class("service", 20, 48);
+    let sink = tb.fabric.enable_tracing();
     tb.tick(SimDuration::from_secs(1));
 
     // Place six instances with the stock scheduler/enactor pipeline.
@@ -79,4 +80,20 @@ fn main() {
         hosts_running.len()
     );
     assert_eq!(m.faults_injected, expected.total(), "every scripted fault fired");
+
+    // Replay the drill from the trace: the watchdog's recovery episode
+    // as a span tree, then the per-stage latency histograms for the
+    // whole run (faults, failed probes and restarts included).
+    if let Some((recovery, _)) =
+        sink.episodes().iter().find(|(_, label)| label == "recover")
+    {
+        println!("\n--- recovery episode ---\n{}", legion::trace::episode_report(&sink, *recovery));
+    }
+    println!("{}", legion::trace::latency_report(&sink));
+    let rollup = sink.rollup();
+    println!(
+        "trace saw {} fault spans and {} ok restart-from-OPR spans",
+        rollup.count(SpanKind::Fault),
+        rollup.ok_count(SpanKind::RestartFromOpr)
+    );
 }

@@ -32,6 +32,10 @@ fn main() {
     let candidates = ctx.candidates_for(&report, None).expect("query succeeds");
     println!("collection query found {} candidate hosts", candidates.len());
 
+    // Turn on pipeline tracing so the placement below is captured as a
+    // span tree (one episode per ScheduleDriver::place call).
+    let sink = tb.fabric.enable_tracing();
+
     // Compute the schedule (Fig. 7 random policy) and drive it through
     // the Enactor (steps 4-11) with the Fig. 9 retry wrapper.
     let scheduler = RandomScheduler::new(7);
@@ -54,4 +58,20 @@ fn main() {
         "fabric cost: {} messages, {} reservation calls ({} granted), {} collection queries",
         m.messages, m.reservation_requests, m.reservations_granted, m.collection_queries
     );
+
+    // The same placement, replayed from the trace: the episode's span
+    // tree and the per-stage latency histograms.
+    let episode = outcome.episode.expect("tracing was enabled");
+    println!("\n--- traced episode ---\n{}", legion::trace::episode_report(&sink, episode));
+    println!("{}", legion::trace::latency_report(&sink));
+
+    // Export the full trace as JSON ("legion-trace/v1") for tooling;
+    // CI smoke-validates this file against the schema.
+    let json = legion::trace::trace_json(&sink);
+    let path = std::env::var("LEGION_TRACE_OUT")
+        .unwrap_or_else(|_| "target/quickstart-trace.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("trace exported to {path} ({} bytes)", json.len()),
+        Err(e) => println!("trace export to {path} failed: {e}"),
+    }
 }

@@ -17,6 +17,7 @@
 use legion::fabric::{FaultAction, FaultPlan};
 use legion::monitor::Watchdog;
 use legion::prelude::*;
+use legion::schedule::ScheduleRequestList;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,6 +28,7 @@ const SEED: u64 = 0xC7A0_5EED;
 fn chaos_soak_under_crashes_and_partitions() {
     let tb = Testbed::build(TestbedConfig::wide(3, 4, SEED));
     let class = tb.register_class("chaos-app", 20, 48);
+    let sink = tb.fabric.enable_tracing();
     tb.tick(SimDuration::from_secs(1));
 
     // Fault plan: host churn + transient partitions + one link burst,
@@ -163,6 +165,109 @@ fn chaos_soak_under_crashes_and_partitions() {
         m.enactor_backoffs > 0 || recoveries > 0,
         "chaos run never hit a recovery path (seed={SEED:#x})"
     );
+
+    // The trace saw the same chaos the ledger did: one Fault span per
+    // injected fault, one Ok restart-from-OPR span per watchdog
+    // recovery, and nothing left dangling.
+    let rollup = sink.rollup();
+    assert_eq!(
+        rollup.count(SpanKind::Fault),
+        m.faults_injected,
+        "fault spans vs ledger (seed={SEED:#x})"
+    );
+    assert_eq!(
+        rollup.ok_count(SpanKind::RestartFromOpr),
+        m.monitor_restarts,
+        "restart spans vs ledger (seed={SEED:#x})"
+    );
+    assert_eq!(sink.open_spans(), 0, "spans leaked open (seed={SEED:#x})");
+}
+
+#[test]
+fn every_injected_fault_leaves_a_matching_trace_event() {
+    // One scripted crash and restart against a host we know holds
+    // objects, watched end to end: the fault itself, the placements it
+    // fails, and the watchdog recovery must all appear in the trace.
+    let tb = Testbed::build(TestbedConfig::local(3, SEED ^ 7));
+    let class = tb.register_class("trace-app", 20, 48);
+    let sink = tb.fabric.enable_tracing();
+    sink.clear();
+
+    let scheduler = RandomScheduler::new(5);
+    let enactor = Enactor::new(tb.fabric.clone());
+    let driver = ScheduleDriver::new(&scheduler, &enactor);
+    let report =
+        driver.place(&PlacementRequest::new().class(class, 2), &tb.ctx()).unwrap();
+    let victim = report.placed[0].0.host;
+
+    let plan = FaultPlan::new()
+        .at(SimTime::from_secs(60), FaultAction::CrashHost(victim))
+        .at(SimTime::from_secs(600), FaultAction::RestartHost(victim));
+    let expected = plan.counts();
+    tb.fabric.install_fault_plan(plan);
+
+    // Tick past the crash; two patrols at 2 allowed misses declare the
+    // host dead and restart its objects from their OPRs.
+    let dog = Watchdog::new(tb.fabric.clone(), 2);
+    for _ in 0..3 {
+        tb.tick(SimDuration::from_secs(60));
+        dog.patrol(tb.fabric.clock().now());
+    }
+
+    // While the victim is still down, a schedule pinned to it must fail
+    // with a HostDown-classed outcome in the trace.
+    let pinned = ScheduleRequestList::single(vec![legion::schedule::Mapping::new(
+        class,
+        victim,
+        tb.vault_loids[0],
+    )]);
+    let feedback = enactor.make_reservations(&pinned);
+    assert!(!feedback.reserved(), "crashed host granted a reservation (seed={SEED:#x})");
+    let hostdown = sink
+        .spans()
+        .iter()
+        .filter(|s| s.kind == SpanKind::MakeReservations)
+        .filter(|s| s.outcome == SpanOutcome::HostDown)
+        .count();
+    assert!(hostdown >= 1, "no HostDown reservation span recorded (seed={SEED:#x})");
+
+    // Tick past the scripted restart so the fault plan drains.
+    for _ in 0..8 {
+        tb.tick(SimDuration::from_secs(60));
+        dog.patrol(tb.fabric.clock().now());
+    }
+
+    let m = tb.fabric.metrics().snapshot();
+    let spans = sink.spans();
+
+    // Every planned fault fired and left exactly one Fault span.
+    assert_eq!(m.faults_injected, expected.total(), "plan drained (seed={SEED:#x})");
+    let faults: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Fault).collect();
+    assert_eq!(faults.len() as u64, expected.total(), "fault spans (seed={SEED:#x})");
+    let crash = faults
+        .iter()
+        .find(|s| s.attr_str("action") == Some("crash_host"))
+        .expect("crash fault span");
+    assert_eq!(crash.attr_str("host"), Some(victim.to_string().as_str()));
+    assert!(faults.iter().any(|s| s.attr_str("action") == Some("restart_host")));
+
+    // The watchdog recovery is visible: one Ok restart-from-OPR span
+    // per ledger restart, each naming the dead host, inside a recovery
+    // episode.
+    assert!(m.monitor_restarts >= 1, "no recovery happened (seed={SEED:#x})");
+    let restarts: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::RestartFromOpr && s.outcome == SpanOutcome::Ok)
+        .collect();
+    assert_eq!(restarts.len() as u64, m.monitor_restarts, "restart spans (seed={SEED:#x})");
+    for r in &restarts {
+        assert_eq!(r.attr_str("from"), Some(victim.to_string().as_str()), "{r:?}");
+    }
+    assert!(
+        sink.episodes().iter().any(|(_, label)| label == "recover"),
+        "recovery ran outside an episode (seed={SEED:#x})"
+    );
+    assert_eq!(sink.open_spans(), 0, "spans leaked open (seed={SEED:#x})");
 }
 
 #[test]

@@ -1,0 +1,275 @@
+//! Trace-based assertions over the Fig. 3 pipeline.
+//!
+//! The `legion-trace` sink watches the same walkthrough the
+//! `rmi_pipeline` test drives, but from the observability side: every
+//! placement is one *episode* whose span tree must match the paper's
+//! schedule → reserve → enact → start sequence exactly, nest correctly,
+//! and reconcile with the `MetricsLedger` counters the fabric already
+//! keeps (two independent measurement paths, one truth).
+
+use legion::fabric::reconcile::{reconcile_trace, reconciliation_report};
+use legion::prelude::*;
+use legion::schedulers::Scheduler;
+use legion::trace::Span;
+
+/// Places `n` objects of `class` and returns the episode's spans.
+fn traced_place(
+    tb: &Testbed,
+    scheduler: &dyn Scheduler,
+    class: Loid,
+    n: u32,
+) -> Vec<Span> {
+    let enactor = Enactor::new(tb.fabric.clone());
+    let driver = ScheduleDriver::new(scheduler, &enactor);
+    let report = driver
+        .place(&PlacementRequest::new().class(class, n), &tb.ctx())
+        .expect("placement succeeds on an idle bed");
+    let ep = report.episode.expect("tracing is enabled, so the report names its episode");
+    tb.fabric.tracer().episode_spans(ep)
+}
+
+#[test]
+fn random_placement_emits_exact_span_sequence() {
+    let tb = Testbed::build(TestbedConfig::local(4, 21));
+    let class = tb.register_class("seq", 25, 64);
+    let sink = tb.fabric.enable_tracing();
+    sink.clear();
+
+    let spans = traced_place(&tb, &RandomScheduler::new(3), class, 2);
+    let kinds: Vec<SpanKind> = spans.iter().map(|s| s.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            SpanKind::Episode,          // one ScheduleDriver::place call
+            SpanKind::Schedule,         // compute_schedule, generation 1
+            SpanKind::CollectionQuery,  // its single candidate query
+            SpanKind::MakeReservations, // Enactor front half
+            SpanKind::ReserveAttempt,   // master fill pass, first try
+            SpanKind::EnactSchedule,    // Enactor back half
+            SpanKind::EnactInstantiation,
+            SpanKind::StartObject, // host-side start, nested in its instantiation
+            SpanKind::EnactInstantiation,
+            SpanKind::StartObject,
+        ],
+        "healthy 2-object placement must follow the Fig. 3 walkthrough"
+    );
+
+    // Everything ended Ok and nothing is still open.
+    assert!(spans.iter().all(|s| s.outcome == SpanOutcome::Ok), "{spans:#?}");
+    assert_eq!(sink.open_spans(), 0);
+}
+
+#[test]
+fn spans_nest_inside_their_episode() {
+    let tb = Testbed::build(TestbedConfig::local(4, 22));
+    let class = tb.register_class("nest", 25, 64);
+    let sink = tb.fabric.enable_tracing();
+    sink.clear();
+
+    let spans = traced_place(&tb, &RandomScheduler::new(5), class, 2);
+    let by_kind = |k: SpanKind| spans.iter().filter(move |s| s.kind == k);
+    let root = by_kind(SpanKind::Episode).next().expect("episode root span");
+    assert!(!root.parent.is_some(), "episode roots have no parent");
+
+    // Every span belongs to the same episode and points at a parent
+    // that (a) exists in the episode and (b) opened before it did.
+    for s in &spans {
+        assert_eq!(s.episode, root.episode, "span leaked across episodes: {s:?}");
+        assert!(s.end >= s.start, "negative duration: {s:?}");
+        if s.kind == SpanKind::Episode {
+            continue;
+        }
+        let parent = spans
+            .iter()
+            .find(|p| p.id == s.parent)
+            .unwrap_or_else(|| panic!("orphaned span {s:?}"));
+        assert!(parent.id < s.id, "parent must open before child: {s:?}");
+    }
+
+    // The stage-level containment the paper's figure implies.
+    let parent_kind = |s: &Span| spans.iter().find(|p| p.id == s.parent).map(|p| p.kind);
+    for q in by_kind(SpanKind::CollectionQuery) {
+        assert_eq!(parent_kind(q), Some(SpanKind::Schedule), "{q:?}");
+    }
+    for a in by_kind(SpanKind::ReserveAttempt) {
+        assert_eq!(parent_kind(a), Some(SpanKind::MakeReservations), "{a:?}");
+    }
+    for i in by_kind(SpanKind::EnactInstantiation) {
+        assert_eq!(parent_kind(i), Some(SpanKind::EnactSchedule), "{i:?}");
+    }
+    for o in by_kind(SpanKind::StartObject) {
+        assert_eq!(parent_kind(o), Some(SpanKind::EnactInstantiation), "{o:?}");
+    }
+    for top in [SpanKind::Schedule, SpanKind::MakeReservations, SpanKind::EnactSchedule] {
+        for s in by_kind(top) {
+            assert_eq!(parent_kind(s), Some(SpanKind::Episode), "{s:?}");
+        }
+    }
+}
+
+#[test]
+fn irs_variants_need_fewer_collection_queries_than_repeated_random() {
+    // §4.2: IRS "generates multiple variant schedules per invocation"
+    // from one Collection snapshot, where re-running the random
+    // scheduler pays one Collection query per schedule produced.
+    const NSCHED: usize = 4;
+    let tb = Testbed::build(TestbedConfig::wide(2, 4, 23));
+    let class = tb.register_class("irs", 25, 64);
+    let ctx = tb.ctx();
+    let sink = tb.fabric.enable_tracing();
+    let request = PlacementRequest::new().class(class, 3);
+
+    sink.clear();
+    let irs = IrsScheduler::new(7, NSCHED);
+    let sched = irs.compute_schedule(&request, &ctx).unwrap();
+    assert!(
+        !sched.schedules[0].variants.is_empty(),
+        "IRS produced master + variants from one snapshot"
+    );
+    let irs_queries = sink.rollup().count(SpanKind::CollectionQuery);
+
+    sink.clear();
+    let random = RandomScheduler::new(7);
+    for _ in 0..NSCHED {
+        random.compute_schedule(&request, &ctx).unwrap();
+    }
+    let random_queries = sink.rollup().count(SpanKind::CollectionQuery);
+
+    assert!(
+        irs_queries < random_queries,
+        "IRS should amortize the Collection query across its variants: \
+         irs={irs_queries} random={random_queries}"
+    );
+    assert_eq!(irs_queries, 1, "one query per class per IRS invocation");
+    assert_eq!(random_queries, NSCHED as u64, "one query per random schedule");
+}
+
+#[test]
+fn trace_rollup_reconciles_with_the_metrics_ledger() {
+    let tb = Testbed::build(TestbedConfig::wide(2, 3, 24));
+    let class_a = tb.register_class("rec-a", 25, 64);
+    let class_b = tb.register_class("rec-b", 40, 96);
+    let sink = tb.fabric.enable_tracing();
+    sink.clear();
+    let before = tb.fabric.metrics().snapshot();
+
+    let enactor = Enactor::new(tb.fabric.clone());
+    let random = RandomScheduler::new(11);
+    let irs = IrsScheduler::new(13, 3);
+    for (scheduler, class, n) in [
+        (&random as &dyn Scheduler, class_a, 2),
+        (&irs as &dyn Scheduler, class_b, 3),
+        (&random as &dyn Scheduler, class_b, 1),
+    ] {
+        ScheduleDriver::new(scheduler, &enactor)
+            .place(&PlacementRequest::new().class(class, n), &tb.ctx())
+            .unwrap();
+    }
+
+    let delta = tb.fabric.metrics().snapshot().delta(&before);
+    let rollup = sink.rollup();
+    let mismatches = reconcile_trace(&rollup, &delta);
+    assert!(
+        mismatches.is_empty(),
+        "trace and ledger disagree:\n{}",
+        reconciliation_report(&rollup, &delta)
+    );
+    // And the reconciliation actually covered real traffic.
+    assert_eq!(rollup.ok_count(SpanKind::Episode), 3, "one Ok episode per placement");
+    assert!(rollup.objects_started >= 6);
+    assert!(delta.objects_started >= 6);
+}
+
+#[test]
+fn latency_histograms_count_every_span_and_cost_is_visible() {
+    let tb = Testbed::build(TestbedConfig::wide(2, 2, 25));
+    let class = tb.register_class("hist", 25, 64);
+    let sink = tb.fabric.enable_tracing();
+    sink.clear();
+
+    let spans = traced_place(&tb, &RandomScheduler::new(9), class, 2);
+    for kind in SpanKind::ALL {
+        let expected = spans.iter().filter(|s| s.kind == kind).count() as u64;
+        assert_eq!(
+            sink.histogram(kind).count(),
+            expected,
+            "histogram[{kind:?}] must count exactly the closed spans"
+        );
+    }
+    // The bed spans two domains, so message latency was charged to the
+    // spans that sent the messages (the virtual clock itself does not
+    // advance for messaging), and the rollup aggregates the same total.
+    let charged: u64 = spans.iter().map(|s| s.charged.as_micros()).sum();
+    assert!(charged > 0, "inter-domain traffic must charge span latency");
+    assert_eq!(sink.rollup().charged_us, charged);
+}
+
+#[test]
+fn concurrent_placements_keep_episodes_separate() {
+    // The context stack is thread-local: four threads placing at once
+    // must produce four clean, fully-closed episodes with no span
+    // parented across threads, and the rollup must still reconcile.
+    let tb = std::sync::Arc::new(Testbed::build(TestbedConfig::wide(2, 4, 26)));
+    let class = tb.register_class("conc", 10, 16);
+    let sink = tb.fabric.enable_tracing();
+    sink.clear();
+    let before = tb.fabric.metrics().snapshot();
+
+    let episodes: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tb = std::sync::Arc::clone(&tb);
+                scope.spawn(move || {
+                    let enactor = Enactor::new(tb.fabric.clone());
+                    let scheduler = RandomScheduler::new(100 + i);
+                    let driver = ScheduleDriver::new(&scheduler, &enactor);
+                    let report = driver
+                        .place(&PlacementRequest::new().class(class, 1), &tb.ctx())
+                        .expect("concurrent placement succeeds");
+                    report.episode.unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(sink.open_spans(), 0, "every span closed despite interleaving");
+    for &ep in &episodes {
+        let spans = tb.fabric.tracer().episode_spans(ep);
+        assert!(!spans.is_empty());
+        for s in &spans {
+            assert_eq!(s.episode, ep);
+            // Parents stay inside the episode — the thread-local stack
+            // never parented a span to another thread's work.
+            if s.parent.is_some() {
+                assert!(spans.iter().any(|p| p.id == s.parent), "cross-thread parent: {s:?}");
+            }
+        }
+        let rollup = tb.fabric.tracer().rollup_for(ep);
+        assert_eq!(rollup.ok_count(SpanKind::Episode), 1);
+    }
+
+    let delta = tb.fabric.metrics().snapshot().delta(&before);
+    let rollup = sink.rollup();
+    assert!(
+        reconcile_trace(&rollup, &delta).is_empty(),
+        "concurrent trace must still reconcile:\n{}",
+        reconciliation_report(&rollup, &delta)
+    );
+}
+
+#[test]
+fn disabled_tracer_records_nothing_and_reports_no_episode() {
+    let tb = Testbed::build(TestbedConfig::local(3, 27));
+    let class = tb.register_class("off", 25, 64);
+    // Tracing is off by default: the pipeline runs clean and unobserved.
+    let enactor = Enactor::new(tb.fabric.clone());
+    let scheduler = RandomScheduler::new(1);
+    let driver = ScheduleDriver::new(&scheduler, &enactor);
+    let report =
+        driver.place(&PlacementRequest::new().class(class, 2), &tb.ctx()).unwrap();
+    assert_eq!(report.placed.len(), 2);
+    assert!(report.episode.is_none(), "disabled tracer mints no episodes");
+    assert!(tb.fabric.tracer().spans().is_empty());
+    assert_eq!(tb.fabric.tracer().rollup().total(), 0);
+}
