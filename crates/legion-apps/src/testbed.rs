@@ -268,6 +268,39 @@ impl Testbed {
     pub fn host_count(&self) -> usize {
         self.host_loids.len()
     }
+
+    /// Preloads every standard host's reservation table with `per_host`
+    /// long-lived, shareable, zero-demand reservations for `class`.
+    ///
+    /// Admission is a linear scan of the table
+    /// (`ReservationTable::make`), so production-scale hosts carry
+    /// production-scale tables; benches call this so per-reservation
+    /// cost reflects that regime instead of empty-table best cases. The
+    /// fillers are shareable (`ONE_SHOT_TIME`) and ask for nothing, so
+    /// they never deny capacity to real traffic, and they carry an
+    /// explicit start time, so they never lapse into confirmation
+    /// timeouts and compact away. Returns the number made.
+    pub fn preload_reservations(&self, per_host: usize, class: Loid) -> usize {
+        let now = self.fabric.clock().now();
+        // Outlives any experiment horizon, so sweeps keep every filler.
+        let duration = SimDuration::from_secs(10 * 365 * 24 * 3600);
+        let mut made = 0;
+        for h in &self.unix_hosts {
+            let vault = legion_core::HostObject::get_compatible_vaults(&**h)
+                .first()
+                .copied()
+                .unwrap_or(Loid::NIL);
+            for _ in 0..per_host {
+                let req = legion_core::ReservationRequest::instantaneous(class, vault, duration)
+                    .with_demand(0, 0)
+                    .starting_at(now);
+                if legion_core::HostObject::make_reservation(&**h, &req, now).is_ok() {
+                    made += 1;
+                }
+            }
+        }
+        made
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +362,24 @@ mod tests {
         assert_eq!(loads.len(), 8);
         let distinct = loads.iter().filter(|&&l| (l - loads[0]).abs() > 1e-9).count();
         assert!(distinct >= 4, "independent AR(1) streams should differ: {loads:?}");
+    }
+
+    #[test]
+    fn preload_fills_tables_without_denying_capacity() {
+        let tb = Testbed::build(TestbedConfig::local(2, 17));
+        let class = tb.register_class("w", 50, 64);
+        assert_eq!(tb.preload_reservations(100, class), 200);
+        // Zero-demand shareable fillers must not consume capacity: a
+        // real reservation still admits on a preloaded host.
+        let now = tb.fabric.clock().now();
+        let vault = tb.vault_loids[0];
+        let req = legion_core::ReservationRequest::instantaneous(
+            class,
+            vault,
+            SimDuration::from_secs(60),
+        );
+        let h = &tb.unix_hosts[0];
+        assert!(legion_core::HostObject::make_reservation(&**h, &req, now).is_ok());
     }
 
     #[test]

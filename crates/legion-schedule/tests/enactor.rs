@@ -276,3 +276,110 @@ fn enactor_respects_max_attempts() {
     let lenient = Enactor::new(t.fabric.clone());
     assert!(lenient.make_reservations(&req).reserved());
 }
+
+// ---------------------------------------------------------------------------
+// Concurrent reservation fan-out
+// ---------------------------------------------------------------------------
+
+/// Token fingerprints that survive across fresh testbeds: LOIDs are
+/// minted from a process-global counter, so identify hosts by index.
+fn token_prints(t: &Testbed, fb: &legion_schedule::ScheduleFeedback) -> Vec<(usize, u64)> {
+    fb.reservations
+        .iter()
+        .map(|tok| {
+            let idx = t.hosts.iter().position(|&h| h == tok.host).expect("testbed host");
+            (idx, tok.serial)
+        })
+        .collect()
+}
+
+#[test]
+fn fanout_matches_serial_feedback_and_ledger() {
+    // Lossless links: the fill pass is deterministic, so every width
+    // must produce the same outcome, the same granted tokens, and the
+    // same ledger delta — parallelism is invisible to accounting.
+    let run = |fanout: usize| {
+        let t = testbed(6);
+        let enactor = Enactor::with_config(
+            t.fabric.clone(),
+            EnactorConfig { fanout, ..Default::default() },
+        );
+        let before = t.fabric.metrics().snapshot();
+        let req = ScheduleRequestList::single((0..6).map(|i| map(&t, i)).collect());
+        let fb = enactor.make_reservations(&req);
+        let delta = t.fabric.metrics().snapshot().delta(&before);
+        (fb.outcome.clone(), token_prints(&t, &fb), delta)
+    };
+    let serial = run(1);
+    assert!(matches!(serial.0, ScheduleOutcome::Reserved { .. }));
+    for width in [2usize, 3, 8, 64] {
+        assert_eq!(serial, run(width), "fanout {width} diverged from the serial pass");
+    }
+}
+
+#[test]
+fn fanout_width_one_replays_bit_identically_under_loss() {
+    // Width 1 must keep drawing loss from the fabric's shared stream:
+    // two identically-seeded runs agree on every draw, every token
+    // serial, and every ledger counter — the pre-fan-out serial path.
+    let run = || {
+        let t = testbed(4);
+        t.fabric
+            .with_topology(|topo| topo.set_drop_prob(DomainId(0), DomainId(0), 0.35));
+        let enactor = Enactor::with_config(
+            t.fabric.clone(),
+            EnactorConfig { fanout: 1, max_attempts: 5, ..Default::default() },
+        );
+        let before = t.fabric.metrics().snapshot();
+        let req = ScheduleRequestList::single((0..4).map(|i| map(&t, i)).collect());
+        let fb = enactor.make_reservations(&req);
+        let delta = t.fabric.metrics().snapshot().delta(&before);
+        (fb.outcome.clone(), token_prints(&t, &fb), delta)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "width-1 runs with one seed must be bit-identical");
+    assert!(a.2.messages_dropped > 0, "the lossy link actually exercised the stream");
+}
+
+#[test]
+fn fanout_partial_failure_backs_out_and_reconciles() {
+    use legion_fabric::reconcile::{reconcile_trace, reconciliation_report};
+
+    // One host refuses the requesting domain; there is no variant, so
+    // the attempt fails and the fan-out's five successful holds must all
+    // be backed out — and the cancel accounting must reconcile exactly
+    // against the trace.
+    let t = testbed(6);
+    t.typed_hosts[3].add_policy(Arc::new(DomainRefusal::new(["dom0"])));
+    let sink = t.fabric.enable_tracing();
+    sink.clear();
+    let before = t.fabric.metrics().snapshot();
+
+    let enactor = Enactor::with_config(
+        t.fabric.clone(),
+        EnactorConfig { fanout: 8, max_attempts: 1, ..Default::default() },
+    );
+    let fb = enactor.make_reservations(
+        &ScheduleRequestList::single((0..6).map(|i| map(&t, i)).collect()),
+    );
+    assert!(!fb.reserved());
+    assert!(fb.reservations.is_empty());
+
+    let delta = t.fabric.metrics().snapshot().delta(&before);
+    assert_eq!(delta.reservations_granted, 5, "five hosts granted before the backout");
+    assert_eq!(delta.reservations_cancelled, 5, "every granted hold was cancelled");
+    let rollup = sink.rollup();
+    assert!(
+        reconcile_trace(&rollup, &delta).is_empty(),
+        "fan-out cleanup must reconcile:\n{}",
+        reconciliation_report(&rollup, &delta)
+    );
+    assert_eq!(sink.open_spans(), 0);
+
+    // The capacity really came back: the same schedule minus the
+    // refusing host reserves cleanly.
+    let retry = ScheduleRequestList::single(
+        (0..6).filter(|&i| i != 3).map(|i| map(&t, i)).collect(),
+    );
+    assert!(enactor.make_reservations(&retry).reserved(), "no leaked holds");
+}

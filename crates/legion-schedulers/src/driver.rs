@@ -148,4 +148,72 @@ impl<'a> ScheduleDriver<'a> {
         episode.end_with(SpanOutcome::from_error(&last_err));
         Err(last_err)
     }
+
+    /// Runs the wrapper loop for every spec, pipelining up to `workers`
+    /// placements concurrently, and returns one result per spec **in
+    /// spec order**.
+    ///
+    /// All workers share the one [`SchedCtx`] — and with it the
+    /// compiled-query cache and the Collection's snapshot storage, so N
+    /// placements of the same shape compile their Collection queries
+    /// once, not N times. Each placement still runs as its own trace
+    /// episode: episode context lives in a per-thread stack, so
+    /// concurrent episodes never interleave their span trees (the
+    /// property `tests/trace_pipeline.rs` pins).
+    ///
+    /// `workers <= 1` degenerates to a serial loop over
+    /// [`ScheduleDriver::place`]. Worker threads pull specs from a
+    /// shared cursor, so a slow co-allocation on one thread never
+    /// blocks the remaining specs behind it.
+    pub fn place_many(
+        &self,
+        specs: &[PlacementSpec],
+        ctx: &SchedCtx,
+        workers: usize,
+    ) -> Vec<Result<DriverReport, LegionError>> {
+        let workers = workers.max(1).min(specs.len().max(1));
+        if workers <= 1 {
+            return specs.iter().map(|s| self.place(&s.request, ctx)).collect();
+        }
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<DriverReport, LegionError>>> =
+            (0..specs.len()).map(|_| None).collect();
+        let results = parking_lot::Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let res = self.place(&spec.request, ctx);
+                    results.lock()[i] = Some(res);
+                });
+            }
+        });
+        slots.into_iter().map(|r| r.expect("every spec placed")).collect()
+    }
+}
+
+/// One entry in a [`ScheduleDriver::place_many`] batch.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementSpec {
+    /// The placement to run.
+    pub request: PlacementRequest,
+}
+
+impl PlacementSpec {
+    /// Wraps a placement request.
+    pub fn new(request: PlacementRequest) -> Self {
+        PlacementSpec { request }
+    }
+
+    /// Convenience: a spec asking for `count` instances of `class`.
+    pub fn of(class: Loid, count: u32) -> Self {
+        PlacementSpec { request: PlacementRequest::new().class(class, count) }
+    }
+}
+
+impl From<PlacementRequest> for PlacementSpec {
+    fn from(request: PlacementRequest) -> Self {
+        PlacementSpec { request }
+    }
 }

@@ -41,7 +41,7 @@ pub mod round_robin;
 pub mod stencil;
 pub mod traits;
 
-pub use driver::{DriverReport, ScheduleDriver};
+pub use driver::{DriverLimits, DriverReport, PlacementSpec, ScheduleDriver};
 pub use irs::{IrsScheduler, VariantStyle};
 pub use kofn::KOfNScheduler;
 pub use layering::{place_layered, LayeringScheme};

@@ -119,7 +119,8 @@ pub mod prelude {
     pub use legion_network::{NetworkBroker, NetworkDirectory, NetworkObject};
     pub use legion_schedulers::{
         IrsScheduler, KOfNScheduler, LoadAwareScheduler, PriceAwareScheduler, RandomScheduler,
-        RoundRobinScheduler, SchedCtx, ScheduleDriver, Scheduler, StencilScheduler,
+        PlacementSpec, RoundRobinScheduler, SchedCtx, ScheduleDriver, Scheduler,
+        StencilScheduler,
     };
     pub use legion_trace::{
         episode_report, latency_report, trace_json, SpanKind, SpanOutcome, TraceRollup, TraceSink,
