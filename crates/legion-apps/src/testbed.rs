@@ -205,6 +205,7 @@ impl Testbed {
         collection.set_metrics(Arc::clone(fabric.metrics()));
         collection.set_tracer(Arc::clone(fabric.tracer()));
         let daemon = DataCollectionDaemon::new(Arc::clone(&collection));
+        daemon.attach_fabric(Arc::clone(&fabric));
         let forecaster = LoadForecaster::new(48);
         daemon.feed_forecaster(Arc::clone(&forecaster));
         for h in &unix_hosts {

@@ -354,6 +354,32 @@ impl Collection {
             .unwrap_or(legion_core::SimDuration::ZERO)
     }
 
+    /// Records refreshed within `ttl` of `now`, plus the count of stale
+    /// records skipped.
+    ///
+    /// The closed-loop rebalancer plans only on fresh data (TTL-aware
+    /// source selection): a record that has stopped refreshing is
+    /// evidence of a crash or partition, not of load, and must not
+    /// steer migrations. The skipped count is surfaced so sweeps can
+    /// report how much of the fleet they were blind to.
+    pub fn fresh_records(
+        &self,
+        now: SimTime,
+        ttl: legion_core::SimDuration,
+    ) -> (Vec<Arc<CollectionRecord>>, usize) {
+        let store = self.store.read();
+        let mut fresh = Vec::new();
+        let mut stale = 0;
+        for rec in store.records.values() {
+            if rec.staleness(now) <= ttl {
+                fresh.push(Arc::clone(rec));
+            } else {
+                stale += 1;
+            }
+        }
+        (fresh, stale)
+    }
+
     /// Convenience for members: read an attribute from a record.
     pub fn member_attr(&self, member: Loid, name: &str) -> Option<AttrValue> {
         self.store.read().records.get(&member).and_then(|r| r.attrs.get(name).cloned())

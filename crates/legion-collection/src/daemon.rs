@@ -16,7 +16,8 @@
 use crate::collection::{Collection, MemberCredential};
 use crate::inject::LoadForecaster;
 use legion_core::host::well_known;
-use legion_core::{HostObject, Loid, SimTime};
+use legion_core::{HostObject, Loid, LoidKind, SimTime};
+use legion_fabric::Fabric;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -28,9 +29,11 @@ struct Target {
 
 /// Pulls host state into one or more Collections on demand.
 pub struct DataCollectionDaemon {
+    loid: Loid,
     targets: RwLock<Vec<Target>>,
     hosts: RwLock<Vec<Arc<dyn HostObject>>>,
     forecaster: RwLock<Option<Arc<LoadForecaster>>>,
+    fabric: RwLock<Option<Arc<Fabric>>>,
     pulls: RwLock<u64>,
 }
 
@@ -38,13 +41,28 @@ impl DataCollectionDaemon {
     /// A daemon feeding `collection`.
     pub fn new(collection: Arc<Collection>) -> Arc<Self> {
         let d = Arc::new(DataCollectionDaemon {
+            loid: Loid::fresh(LoidKind::Service),
             targets: RwLock::new(Vec::new()),
             hosts: RwLock::new(Vec::new()),
             forecaster: RwLock::new(None),
+            fabric: RwLock::new(None),
             pulls: RwLock::new(0),
         });
         d.add_collection(collection);
         d
+    }
+
+    /// This daemon's identifier (its endpoint of pull traffic; domain 0
+    /// unless the fabric places it elsewhere).
+    pub fn loid(&self) -> Loid {
+        self.loid
+    }
+
+    /// Attaches the fabric so sweeps respect its partition state: a
+    /// host the daemon cannot reach answers no pulls, exactly like a
+    /// crashed one, and its records age toward the staleness TTL.
+    pub fn attach_fabric(&self, fabric: Arc<Fabric>) {
+        *self.fabric.write() = Some(fabric);
     }
 
     /// Registers an additional target Collection; subsequent sweeps push
@@ -88,6 +106,15 @@ impl DataCollectionDaemon {
                 continue;
             }
             let loid = host.loid();
+            // A partitioned host is unreachable exactly like a crashed
+            // one: the pull silently fails and the record stops
+            // refreshing, so planners see staleness instead of a
+            // confidently wrong load figure.
+            if let Some(f) = self.fabric.read().as_ref() {
+                if f.is_partitioned(f.domain_of(self.loid), f.domain_of(loid)) {
+                    continue;
+                }
+            }
             let attrs = host.attributes();
             if let Some(f) = self.forecaster.read().as_ref() {
                 if let Some(load) = attrs.get_f64(well_known::LOAD) {

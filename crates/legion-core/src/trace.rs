@@ -93,11 +93,23 @@ pub enum SpanKind {
     RestartFromOpr,
     /// One fault-plan event fired by the fabric (zero duration).
     Fault,
+    /// One rebalance-sweep hotspot detection pass over Collection
+    /// records (hysteresis update included).
+    RebalanceDetect,
+    /// One rebalance-sweep planning pass (victim/target selection under
+    /// the per-sweep budget).
+    RebalancePlan,
+    /// One attempted object migration inside a rebalance sweep
+    /// (alternate-target retries happen within the same span).
+    RebalanceMigrate,
+    /// One rebalance-sweep convergence check (post-migration max/mean
+    /// load ratio against the exit threshold).
+    RebalanceConverge,
 }
 
 impl SpanKind {
     /// Number of distinct kinds (histogram array size).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 16;
 
     /// Every kind, in index order.
     pub const ALL: [SpanKind; SpanKind::COUNT] = [
@@ -113,6 +125,10 @@ impl SpanKind {
         SpanKind::StartObject,
         SpanKind::RestartFromOpr,
         SpanKind::Fault,
+        SpanKind::RebalanceDetect,
+        SpanKind::RebalancePlan,
+        SpanKind::RebalanceMigrate,
+        SpanKind::RebalanceConverge,
     ];
 
     /// Dense index (for per-kind histogram arrays).
@@ -135,6 +151,10 @@ impl SpanKind {
             SpanKind::StartObject => "start_object",
             SpanKind::RestartFromOpr => "restart_from_opr",
             SpanKind::Fault => "fault",
+            SpanKind::RebalanceDetect => "rebalance_detect",
+            SpanKind::RebalancePlan => "rebalance_plan",
+            SpanKind::RebalanceMigrate => "rebalance_migrate",
+            SpanKind::RebalanceConverge => "rebalance_converge",
         }
     }
 }

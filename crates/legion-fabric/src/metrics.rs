@@ -117,6 +117,14 @@ counters! {
     monitor_restarts,
     /// Collection records evicted as stale (dead-host TTL).
     collection_evictions,
+    /// Closed-loop rebalance sweeps executed.
+    rebalance_sweeps,
+    /// Migrations attempted by a rebalance sweep that failed and left
+    /// the object back on (or still on) its source — wasted work.
+    rebalance_rollbacks,
+    /// Migrations whose planned target failed mid-flight and whose
+    /// object was reactivated on an alternate host instead.
+    rebalance_rehomes,
 }
 
 impl MetricsLedger {

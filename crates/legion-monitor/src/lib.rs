@@ -23,7 +23,10 @@ pub mod monitor;
 pub mod rebalance;
 pub mod watchdog;
 
-pub use migrate::{migrate_object, MigrationRecord};
+pub use migrate::{
+    migrate_object, migrate_object_with, MigrateDisposition, MigrateError, MigrateFailure,
+    MigrationOutcome, MigrationRecord,
+};
 pub use monitor::Monitor;
-pub use rebalance::Rebalancer;
+pub use rebalance::{RebalanceConfig, Rebalancer, SweepReport};
 pub use watchdog::{RestartRecord, Watchdog};

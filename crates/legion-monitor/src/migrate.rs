@@ -4,10 +4,44 @@
 //! therefore any active object can be migrated by shutting it down,
 //! moving the passive state to a new Vault if necessary, and activating
 //! the object on another host." (§2.1)
+//!
+//! Migration is admission-first: before the object is disturbed, the
+//! destination host arbitrates a reservation for the object's demand
+//! (read off its vault checkpoint), exactly as the Enactor negotiates
+//! placements. A refusal therefore costs nothing — the object never
+//! stops running. Failures after deactivation roll the object back to
+//! its source, or — when the source died mid-flight — re-home it on a
+//! caller-supplied alternate; if every live option is gone the OPR
+//! stays safely in its vault for the Watchdog to recover.
 
-use legion_core::{LegionError, Loid, PlacementContext, SimTime, VaultDirectory};
+use legion_core::{
+    LegionError, Loid, Opr, PlacementContext, ReservationRequest, SimDuration, SimTime,
+    SpanOutcome, VaultDirectory,
+};
 use legion_fabric::{Fabric, MetricsLedger};
+use legion_schedule::FailureClass;
+use std::fmt;
 use std::sync::Arc;
+
+/// How long the admission reservation guards the target's capacity. It
+/// is cancelled as soon as reactivation completes (or fails), so the
+/// duration only matters if the cancel itself is lost to a crash.
+fn admission_hold() -> SimDuration {
+    SimDuration::from_secs(600)
+}
+
+/// How a completed migration ended up where it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationOutcome {
+    /// The object landed on the planned target.
+    Completed,
+    /// The planned target failed mid-flight and the source was gone
+    /// too; the object was reactivated on an alternate host instead.
+    ReHomed {
+        /// The target the migration was planned for.
+        planned: Loid,
+    },
+}
 
 /// A completed migration, for experiment bookkeeping.
 #[derive(Debug, Clone)]
@@ -16,7 +50,7 @@ pub struct MigrationRecord {
     pub object: Loid,
     /// Source host.
     pub from: Loid,
-    /// Destination host.
+    /// Destination host (the host actually running the object now).
     pub to: Loid,
     /// Vault holding the OPR at reactivation.
     pub via_vault: Loid,
@@ -24,79 +58,272 @@ pub struct MigrationRecord {
     pub completed_at: SimTime,
     /// Bytes of passive state moved.
     pub opr_bytes: usize,
+    /// How the object got to `to`.
+    pub outcome: MigrationOutcome,
 }
 
-/// Migrates `object` from `from` to `to`.
-///
-/// The sequence is exactly the paper's: (1) deactivate on the source —
-/// the host serializes the object into its vault as an OPR; (2) if the
-/// destination cannot reach that vault, move the OPR to a vault it can
-/// reach; (3) reactivate on the destination; (4) tell the Class, the
-/// final authority on its instances' placement, about the new location.
-///
-/// On reactivation failure the OPR is restored to the source host so the
-/// object is never lost.
+/// Why a migration failed — the Enactor's [`FailureClass`] vocabulary
+/// specialised to the migration sequence, so monitor policy can react
+/// per cause (walk alternates on a refused target, leave a dead source
+/// to the Watchdog, and so on).
+#[derive(Debug, Clone)]
+pub enum MigrateFailure {
+    /// The source host is down, unknown, or unreachable.
+    SourceDown(Loid),
+    /// The target host is down, unknown, or unreachable.
+    TargetDown(Loid),
+    /// No vault holds passive state for the object (lost vault, or the
+    /// object never checkpointed) — migration cannot even start.
+    OprMissing(Loid),
+    /// The target arbitrated the admission reservation and said no.
+    ReservationRefused {
+        /// The refusing host.
+        host: Loid,
+        /// The refusal as raised by the host.
+        error: LegionError,
+    },
+    /// Vault or network infrastructure failed mid-sequence.
+    Infrastructure(LegionError),
+}
+
+/// Where the object is after a failed migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateDisposition {
+    /// Still running on the source: the migration was refused before
+    /// the object was disturbed.
+    Untouched,
+    /// Deactivated and then reactivated back on the source — the
+    /// round trip was wasted work, but nothing was lost.
+    RolledBack,
+    /// Both target and source failed mid-flight: the object is passive
+    /// in this vault, intact, awaiting Watchdog recovery.
+    StrandedInVault(Loid),
+}
+
+/// A failed migration: the cause plus where the object ended up.
+#[derive(Debug, Clone)]
+pub struct MigrateError {
+    /// What went wrong.
+    pub failure: MigrateFailure,
+    /// Where the object is now.
+    pub disposition: MigrateDisposition,
+}
+
+impl MigrateError {
+    fn untouched(failure: MigrateFailure) -> Self {
+        MigrateError { failure, disposition: MigrateDisposition::Untouched }
+    }
+
+    /// The Enactor's failure classification for this cause.
+    pub fn failure_class(&self) -> FailureClass {
+        match &self.failure {
+            MigrateFailure::SourceDown(_) | MigrateFailure::TargetDown(_) => {
+                FailureClass::HostDown
+            }
+            MigrateFailure::OprMissing(_) => FailureClass::Infrastructure,
+            MigrateFailure::ReservationRefused { .. } => FailureClass::ResourceUnavailable,
+            MigrateFailure::Infrastructure(e) => FailureClass::classify(e),
+        }
+    }
+
+    /// Whether retrying (same or different target) could help.
+    pub fn is_transient(&self) -> bool {
+        self.failure_class().is_transient()
+    }
+
+    /// Whether an alternate target is worth trying right now: the
+    /// *target* side failed while the object stayed on (or was restored
+    /// to) its source.
+    pub fn target_side(&self) -> bool {
+        matches!(
+            self.failure,
+            MigrateFailure::TargetDown(_) | MigrateFailure::ReservationRefused { .. }
+        ) && !matches!(self.disposition, MigrateDisposition::StrandedInVault(_))
+    }
+
+    /// Whether the object took a wasted deactivate/reactivate round
+    /// trip (or worse) — anything beyond an up-front refusal.
+    pub fn wasted_work(&self) -> bool {
+        !matches!(self.disposition, MigrateDisposition::Untouched)
+    }
+
+    /// The trace outcome this failure maps to.
+    pub fn span_outcome(&self) -> SpanOutcome {
+        self.failure_class().span_outcome()
+    }
+}
+
+impl fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.failure {
+            MigrateFailure::SourceDown(h) => write!(f, "source host {h} down")?,
+            MigrateFailure::TargetDown(h) => write!(f, "target host {h} down")?,
+            MigrateFailure::OprMissing(o) => write!(f, "no vault holds an OPR for {o}")?,
+            MigrateFailure::ReservationRefused { host, error } => {
+                write!(f, "host {host} refused the admission reservation: {error}")?
+            }
+            MigrateFailure::Infrastructure(e) => write!(f, "infrastructure failure: {e}")?,
+        }
+        match self.disposition {
+            MigrateDisposition::Untouched => write!(f, " (object untouched on source)"),
+            MigrateDisposition::RolledBack => write!(f, " (object rolled back to source)"),
+            MigrateDisposition::StrandedInVault(v) => {
+                write!(f, " (object passive in vault {v}, awaiting recovery)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+/// Migrates `object` from `from` to `to`. See [`migrate_object_with`];
+/// this form carries no re-home alternates.
 pub fn migrate_object(
     fabric: &Arc<Fabric>,
     object: Loid,
     from: Loid,
     to: Loid,
-) -> Result<MigrationRecord, LegionError> {
-    let src = fabric.lookup_host(from).ok_or(LegionError::NoSuchHost(from))?;
-    let dst = fabric.lookup_host(to).ok_or(LegionError::NoSuchHost(to))?;
-    let now = fabric.clock().now();
+) -> Result<MigrationRecord, MigrateError> {
+    migrate_object_with(fabric, object, from, to, &[])
+}
 
-    // (1) Shut down: passive state lands in the source host's vault.
-    fabric.link(from, to)?;
-    let opr = src.deactivate_object(object, now)?;
+/// Migrates `object` from `from` to `to`, with `rehome` as fallback
+/// hosts should the *source* vanish mid-flight.
+///
+/// The sequence is the paper's, guarded: (0) the destination arbitrates
+/// an admission reservation for the object's checkpointed demand — a
+/// refusal leaves the object untouched; (1) deactivate on the source —
+/// the host serializes the object into its vault as an OPR; (2) if the
+/// destination cannot reach that vault, move the OPR to a vault it can
+/// reach; (3) reactivate on the destination; (4) tell the Class, the
+/// final authority on its instances' placement, about the new location.
+///
+/// On reactivation failure the object is rolled back to the source; if
+/// the source has meanwhile died, each `rehome` host is tried in order
+/// (a success returns `Ok` with [`MigrationOutcome::ReHomed`]); if all
+/// of that fails the OPR stays in its vault — recoverable, never lost,
+/// never duplicated.
+pub fn migrate_object_with(
+    fabric: &Arc<Fabric>,
+    object: Loid,
+    from: Loid,
+    to: Loid,
+    rehome: &[Loid],
+) -> Result<MigrationRecord, MigrateError> {
+    let src = fabric
+        .lookup_host(from)
+        .ok_or_else(|| MigrateError::untouched(MigrateFailure::SourceDown(from)))?;
+    let dst = fabric
+        .lookup_host(to)
+        .ok_or_else(|| MigrateError::untouched(MigrateFailure::TargetDown(to)))?;
 
-    // (2) Move the OPR if the destination cannot reach its current
-    // vault. The OPR is wherever the source host stored it — find it.
+    // The object's passive state — its birth (or latest) checkpoint —
+    // tells us its demand without disturbing it, and proves a vault is
+    // reachable at all before anything irreversible happens.
     let holding_vault = fabric
         .vault_loids()
         .into_iter()
-        .find(|&v| {
-            fabric.lookup_vault(v).is_some_and(|vault| vault.holds(object))
-        })
-        .ok_or(LegionError::NoSuchOpr(object))?;
+        .find(|&v| fabric.lookup_vault(v).is_some_and(|vault| vault.holds(object)))
+        .ok_or_else(|| MigrateError::untouched(MigrateFailure::OprMissing(object)))?;
+    let checkpoint = fabric
+        .lookup_vault(holding_vault)
+        .and_then(|v| v.fetch_opr(object).ok())
+        .ok_or_else(|| MigrateError::untouched(MigrateFailure::OprMissing(object)))?;
 
+    // Decide which vault the destination will reactivate from.
     let dst_vaults = dst.get_compatible_vaults();
     let via_vault = if dst_vaults.contains(&holding_vault) {
         holding_vault
     } else {
-        let target_vault_loid = *dst_vaults
+        *dst_vaults
             .first()
-            .ok_or(LegionError::NoSuchVault(to))?;
-        let src_vault = fabric
-            .lookup_vault(holding_vault)
-            .ok_or(LegionError::NoSuchVault(holding_vault))?;
-        let dst_vault = fabric
-            .lookup_vault(target_vault_loid)
-            .ok_or(LegionError::NoSuchVault(target_vault_loid))?;
-        fabric.link(holding_vault, target_vault_loid)?;
-        dst_vault.store_opr(src_vault.fetch_opr(object)?)?;
-        src_vault.delete_opr(object)?;
-        target_vault_loid
+            .ok_or_else(|| MigrateError::untouched(MigrateFailure::TargetDown(to)))?
     };
+
+    // (0) Admission: the destination is an autonomous arbiter — ask it
+    // first. The object keeps running while it decides. An unreachable
+    // host and a dead host are indistinguishable to the migrator.
+    let now = fabric.clock().now();
+    if fabric.link(from, to).is_err() {
+        return Err(MigrateError::untouched(MigrateFailure::TargetDown(to)));
+    }
+    let admission = ReservationRequest::instantaneous(checkpoint.class, via_vault, admission_hold())
+        .with_demand(checkpoint.cpu_centis, checkpoint.memory_mb);
+    let token = match dst.make_reservation(&admission, now) {
+        Ok(t) => t,
+        Err(LegionError::HostDown(_)) | Err(LegionError::NoSuchHost(_)) => {
+            return Err(MigrateError::untouched(MigrateFailure::TargetDown(to)));
+        }
+        Err(e) => {
+            return Err(MigrateError::untouched(MigrateFailure::ReservationRefused {
+                host: to,
+                error: e,
+            }))
+        }
+    };
+
+    // (1) Shut down: passive state lands in the source host's vault.
+    let opr = match src.deactivate_object(object, now) {
+        Ok(o) => o,
+        Err(e) => {
+            let _ = dst.cancel_reservation(&token);
+            let failure = match e {
+                LegionError::HostDown(_) | LegionError::NoSuchHost(_) => {
+                    MigrateFailure::SourceDown(from)
+                }
+                other => MigrateFailure::Infrastructure(other),
+            };
+            return Err(MigrateError::untouched(failure));
+        }
+    };
+
+    // (2) Move the OPR if the destination cannot reach its vault.
+    if via_vault != holding_vault {
+        let moved = (|| -> Result<(), LegionError> {
+            let src_vault = fabric
+                .lookup_vault(holding_vault)
+                .ok_or(LegionError::NoSuchVault(holding_vault))?;
+            let dst_vault =
+                fabric.lookup_vault(via_vault).ok_or(LegionError::NoSuchVault(via_vault))?;
+            fabric.link(holding_vault, via_vault)?;
+            dst_vault.store_opr(src_vault.fetch_opr(object)?)?;
+            src_vault.delete_opr(object)?;
+            Ok(())
+        })();
+        if let Err(e) = moved {
+            let _ = dst.cancel_reservation(&token);
+            return undo_to_source(
+                fabric,
+                &src,
+                from,
+                to,
+                &opr,
+                holding_vault,
+                holding_vault,
+                rehome,
+                MigrateFailure::Infrastructure(e),
+            );
+        }
+    }
 
     // (3) Reactivate on the destination.
     let now = fabric.clock().now();
     if let Err(e) = dst.reactivate_object(&opr, now) {
-        // Roll back: bring the object home so it is never lost.
-        if via_vault != holding_vault {
-            // Move the OPR back within the source's reach first.
-            if let (Some(sv), Some(dv)) =
-                (fabric.lookup_vault(holding_vault), fabric.lookup_vault(via_vault))
-            {
-                if let Ok(o) = dv.fetch_opr(object) {
-                    let _ = sv.store_opr(o);
-                    let _ = dv.delete_opr(object);
-                }
+        let _ = dst.cancel_reservation(&token);
+        let failure = match e {
+            LegionError::HostDown(_) | LegionError::NoSuchHost(_) => {
+                MigrateFailure::TargetDown(to)
             }
-        }
-        let _ = src.reactivate_object(&opr, now);
-        return Err(e);
+            LegionError::ReservationDenied { .. } | LegionError::PolicyRefused { .. } => {
+                MigrateFailure::ReservationRefused { host: to, error: e }
+            }
+            other => MigrateFailure::Infrastructure(other),
+        };
+        return undo_to_source(
+            fabric, &src, from, to, &opr, via_vault, holding_vault, rehome, failure,
+        );
     }
+    let _ = dst.cancel_reservation(&token);
 
     // (4) The Class is the final authority on placement — tell it.
     if let Some(class) = fabric.lookup_class(opr.class) {
@@ -111,5 +338,87 @@ pub fn migrate_object(
         via_vault,
         completed_at: fabric.clock().now(),
         opr_bytes: opr.size_bytes(),
+        outcome: MigrationOutcome::Completed,
     })
+}
+
+/// Brings a deactivated object home after a failed migration: move the
+/// OPR back within the source's reach if it travelled, then reactivate
+/// on the source. If the source died mid-flight, the `rehome` hosts are
+/// tried in order; if nothing accepts, the OPR stays put in a vault.
+#[allow(clippy::too_many_arguments)]
+fn undo_to_source(
+    fabric: &Arc<Fabric>,
+    src: &Arc<dyn legion_core::HostObject>,
+    from: Loid,
+    planned_to: Loid,
+    opr: &Opr,
+    opr_at: Loid,
+    home_vault: Loid,
+    rehome: &[Loid],
+    failure: MigrateFailure,
+) -> Result<MigrationRecord, MigrateError> {
+    let now = fabric.clock().now();
+    // Move the OPR back within the source's reach first (best effort —
+    // reactivation scans compatible vaults, so a copy left in the
+    // destination's vault is still recoverable by the Watchdog).
+    let mut resting_vault = opr_at;
+    if opr_at != home_vault {
+        if let (Some(hv), Some(av)) =
+            (fabric.lookup_vault(home_vault), fabric.lookup_vault(opr_at))
+        {
+            if let Ok(o) = av.fetch_opr(opr.object) {
+                if hv.store_opr(o).is_ok() {
+                    let _ = av.delete_opr(opr.object);
+                    resting_vault = home_vault;
+                }
+            }
+        }
+    }
+    if src.reactivate_object(opr, now).is_ok() {
+        return Err(MigrateError { failure, disposition: MigrateDisposition::RolledBack });
+    }
+    // The source is gone too. Re-home on any supplied alternate; the
+    // Class must learn the final location whatever happens.
+    for &alt in rehome {
+        if alt == from || alt == planned_to {
+            continue;
+        }
+        let Some(host) = fabric.lookup_host(alt) else { continue };
+        if fabric.link(from, alt).is_err() {
+            continue;
+        }
+        let reachable = host.get_compatible_vaults();
+        let via = if reachable.contains(&resting_vault) {
+            resting_vault
+        } else {
+            let Some(&v) = reachable.first() else { continue };
+            let Some(dst_vault) = fabric.lookup_vault(v) else { continue };
+            let Some(cur_vault) = fabric.lookup_vault(resting_vault) else { continue };
+            let Ok(o) = cur_vault.fetch_opr(opr.object) else { continue };
+            if dst_vault.store_opr(o).is_err() {
+                continue;
+            }
+            let _ = cur_vault.delete_opr(opr.object);
+            v
+        };
+        resting_vault = via;
+        if host.reactivate_object(opr, now).is_ok() {
+            if let Some(class) = fabric.lookup_class(opr.class) {
+                class.note_instance_location(opr.object, alt);
+            }
+            MetricsLedger::bump(&fabric.metrics().migrations);
+            MetricsLedger::bump(&fabric.metrics().rebalance_rehomes);
+            return Ok(MigrationRecord {
+                object: opr.object,
+                from,
+                to: alt,
+                via_vault: via,
+                completed_at: fabric.clock().now(),
+                opr_bytes: opr.size_bytes(),
+                outcome: MigrationOutcome::ReHomed { planned: planned_to },
+            });
+        }
+    }
+    Err(MigrateError { failure, disposition: MigrateDisposition::StrandedInVault(resting_vault) })
 }

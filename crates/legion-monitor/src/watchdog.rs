@@ -75,24 +75,37 @@ impl Watchdog {
     /// and is recovered the same way — the Class's location records are
     /// the single authority on placement, so when the partition heals
     /// the stale replica is simply no longer referenced.
+    ///
+    /// The round is two-phase: *all* probes land and miss counters
+    /// settle before any recovery runs. A flapping host that answered
+    /// its probe this round is therefore immediately usable as a
+    /// recovery candidate, whatever its position in registry order.
+    /// Miss entries for hosts no longer registered are pruned, so a
+    /// host that unregisters and later re-joins starts with a clean
+    /// slate instead of inheriting a dead verdict.
     pub fn patrol(&self, now: SimTime) -> Vec<RestartRecord> {
-        let mut restarts = Vec::new();
-        for host_loid in self.fabric.host_loids() {
+        let registered = self.fabric.host_loids();
+        let mut dead_hosts = Vec::new();
+        {
+            let mut misses = self.misses.lock();
+            misses.retain(|h, _| registered.contains(h));
+        }
+        for &host_loid in &registered {
             let alive = self.probe(host_loid, now);
-            let dead = {
-                let mut misses = self.misses.lock();
-                if alive {
-                    misses.insert(host_loid, 0);
-                    false
-                } else {
-                    let m = misses.entry(host_loid).or_insert(0);
-                    *m = m.saturating_add(1);
-                    *m >= self.misses_allowed
+            let mut misses = self.misses.lock();
+            if alive {
+                misses.insert(host_loid, 0);
+            } else {
+                let m = misses.entry(host_loid).or_insert(0);
+                *m = m.saturating_add(1);
+                if *m >= self.misses_allowed {
+                    dead_hosts.push(host_loid);
                 }
-            };
-            if dead {
-                restarts.extend(self.recover_host(host_loid, now));
             }
+        }
+        let mut restarts = Vec::new();
+        for dead in dead_hosts {
+            restarts.extend(self.recover_host(dead, now));
         }
         restarts
     }

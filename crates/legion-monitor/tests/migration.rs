@@ -1,13 +1,17 @@
 //! Monitor + migration integration tests.
 
 use legion_core::{
-    ClassObject, HostObject, LegionClass, Loid, ObjectImplementation, ObjectSpec,
-    ReservationRequest, SimDuration, VaultDirectory, VaultObject,
+    ClassObject, HostObject, LegionClass, LegionError, Loid, ObjectImplementation, ObjectSpec,
+    Opr, ReservationRequest, SimDuration, SimTime, VaultDirectory, VaultObject,
 };
 use legion_fabric::{DomainId, DomainTopology, Fabric};
 use legion_hosts::{BackgroundLoad, HostConfig, StandardHost};
-use legion_monitor::{migrate_object, Monitor, Rebalancer};
+use legion_monitor::{
+    migrate_object, MigrateDisposition, MigrateFailure, Monitor, Rebalancer, Watchdog,
+};
+use legion_schedule::FailureClass;
 use legion_vaults::{StandardVault, VaultConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 struct World {
@@ -240,6 +244,248 @@ fn shutdown_drains_every_object() {
     let now = w.fabric.clock().advance(SimDuration::from_secs(30));
     let events = w.hosts[0].reassess(now);
     assert!(events.is_empty());
+}
+
+#[test]
+fn migration_errors_are_typed() {
+    let w = split_world();
+    let obj = start_object(&w, 0);
+    let ghost = Loid::fresh(legion_core::LoidKind::Host);
+
+    // Unknown source.
+    let err = migrate_object(&w.fabric, obj, ghost, w.hosts[1].loid()).unwrap_err();
+    assert!(matches!(err.failure, MigrateFailure::SourceDown(h) if h == ghost));
+    assert_eq!(err.disposition, MigrateDisposition::Untouched);
+    assert_eq!(err.failure_class(), FailureClass::HostDown);
+    assert!(err.is_transient());
+
+    // Unknown target.
+    let err = migrate_object(&w.fabric, obj, w.hosts[0].loid(), ghost).unwrap_err();
+    assert!(matches!(err.failure, MigrateFailure::TargetDown(h) if h == ghost));
+    assert!(err.target_side());
+    assert!(!err.wasted_work());
+
+    // No vault holds passive state for a never-checkpointed LOID.
+    let unknown_obj = Loid::fresh(legion_core::LoidKind::Instance);
+    let err = migrate_object(&w.fabric, unknown_obj, w.hosts[0].loid(), w.hosts[1].loid())
+        .unwrap_err();
+    assert!(matches!(err.failure, MigrateFailure::OprMissing(o) if o == unknown_obj));
+    assert_eq!(err.failure_class(), FailureClass::Infrastructure);
+
+    // A refused admission reservation names the refusing host and
+    // leaves the object untouched — zero disruption.
+    let _hog = start_hog(&w, 1, 512);
+    let err = migrate_object(&w.fabric, obj, w.hosts[0].loid(), w.hosts[1].loid()).unwrap_err();
+    assert!(
+        matches!(err.failure, MigrateFailure::ReservationRefused { host, .. }
+            if host == w.hosts[1].loid()),
+        "expected ReservationRefused, got: {err}"
+    );
+    assert_eq!(err.disposition, MigrateDisposition::Untouched);
+    assert_eq!(err.failure_class(), FailureClass::ResourceUnavailable);
+    assert!(err.target_side());
+    assert!(!err.wasted_work(), "refusal must cost no deactivation round trip");
+    assert_eq!(w.hosts[0].running_objects(), vec![obj]);
+}
+
+/// A delegating host wrapper that fail-stops its inner host at a chosen
+/// point in the migration sequence — the only way to crash a host
+/// *between* two steps of one `migrate_object` call.
+struct SabotagedHost {
+    inner: Arc<StandardHost>,
+    /// Crash the host immediately after a successful deactivation (the
+    /// source dying with the object's state already in the vault).
+    crash_after_deactivate: AtomicBool,
+    /// Crash the host when reactivation is attempted (the target dying
+    /// mid-flight, after granting admission).
+    crash_on_reactivate: AtomicBool,
+}
+
+impl SabotagedHost {
+    fn new(inner: Arc<StandardHost>) -> Arc<Self> {
+        Arc::new(SabotagedHost {
+            inner,
+            crash_after_deactivate: AtomicBool::new(false),
+            crash_on_reactivate: AtomicBool::new(false),
+        })
+    }
+}
+
+impl HostObject for SabotagedHost {
+    fn loid(&self) -> Loid {
+        self.inner.loid()
+    }
+    fn make_reservation(
+        &self,
+        req: &ReservationRequest,
+        now: SimTime,
+    ) -> Result<legion_core::ReservationToken, LegionError> {
+        self.inner.make_reservation(req, now)
+    }
+    fn check_reservation(
+        &self,
+        token: &legion_core::ReservationToken,
+        now: SimTime,
+    ) -> Result<legion_core::ReservationStatus, LegionError> {
+        self.inner.check_reservation(token, now)
+    }
+    fn cancel_reservation(&self, token: &legion_core::ReservationToken) -> Result<(), LegionError> {
+        self.inner.cancel_reservation(token)
+    }
+    fn start_object(
+        &self,
+        token: &legion_core::ReservationToken,
+        specs: &[ObjectSpec],
+        now: SimTime,
+    ) -> Result<Vec<Loid>, LegionError> {
+        self.inner.start_object(token, specs, now)
+    }
+    fn kill_object(&self, object: Loid) -> Result<(), LegionError> {
+        self.inner.kill_object(object)
+    }
+    fn deactivate_object(&self, object: Loid, now: SimTime) -> Result<Opr, LegionError> {
+        let r = self.inner.deactivate_object(object, now);
+        if r.is_ok() && self.crash_after_deactivate.swap(false, Ordering::SeqCst) {
+            self.inner.crash();
+        }
+        r
+    }
+    fn reactivate_object(&self, opr: &Opr, now: SimTime) -> Result<(), LegionError> {
+        if self.crash_on_reactivate.swap(false, Ordering::SeqCst) {
+            self.inner.crash();
+        }
+        self.inner.reactivate_object(opr, now)
+    }
+    fn running_objects(&self) -> Vec<Loid> {
+        self.inner.running_objects()
+    }
+    fn get_compatible_vaults(&self) -> Vec<Loid> {
+        self.inner.get_compatible_vaults()
+    }
+    fn vault_ok(&self, vault: Loid) -> bool {
+        self.inner.vault_ok(vault)
+    }
+    fn attributes(&self) -> legion_core::AttributeDb {
+        self.inner.attributes()
+    }
+    fn crash(&self) {
+        self.inner.crash()
+    }
+    fn restart(&self, now: SimTime) {
+        self.inner.restart(now)
+    }
+    fn is_crashed(&self) -> bool {
+        self.inner.is_crashed()
+    }
+    fn probe(&self, now: SimTime) -> Result<(), LegionError> {
+        self.inner.probe(now)
+    }
+    fn register_trigger(&self, trigger: legion_core::Trigger) -> legion_core::TriggerId {
+        self.inner.register_trigger(trigger)
+    }
+    fn remove_trigger(&self, id: legion_core::TriggerId) {
+        self.inner.remove_trigger(id)
+    }
+    fn register_outcall(&self, outcall: Arc<dyn legion_core::Outcall>) {
+        self.inner.register_outcall(outcall)
+    }
+    fn reassess(&self, now: SimTime) -> Vec<legion_core::Event> {
+        self.inner.reassess(now)
+    }
+}
+
+#[test]
+fn mid_migration_target_crash_watchdog_restarts_on_third_host() {
+    // Satellite: the target host dies after granting admission but
+    // before reactivation, and the source dies right after handing its
+    // state to the vault. The object must neither be lost nor
+    // duplicated: the Watchdog restarts it from its OPR on the third
+    // host, and exactly one live instance exists afterwards.
+    let fabric = Fabric::new(
+        DomainTopology::uniform(1, SimDuration::from_micros(50), SimDuration::from_millis(20)),
+        23,
+    );
+    let vault = Arc::new(StandardVault::new(VaultConfig {
+        name: "shared".into(),
+        domain: "site0.edu".into(),
+        accepted_domains: vec!["site0.edu".into()],
+        ..Default::default()
+    }));
+    let vault_loid = vault.loid();
+    fabric.register_vault(vault, DomainId(0));
+    let mut inners = Vec::new();
+    let mut wrapped = Vec::new();
+    for i in 0..3u64 {
+        let h = StandardHost::new(
+            HostConfig::unix(format!("h{i}"), "site0.edu"),
+            fabric.clone(),
+            40 + i,
+        );
+        h.set_metrics(Arc::clone(fabric.metrics()));
+        let w = SabotagedHost::new(Arc::clone(&h));
+        fabric.register_host(Arc::clone(&w) as Arc<dyn HostObject>, DomainId(0));
+        inners.push(h);
+        wrapped.push(w);
+    }
+    let class = Arc::new(LegionClass::new(
+        "app",
+        vec![ObjectImplementation::new("mips", "IRIX")],
+    ));
+    let class_loid = class.loid();
+    fabric.register_class(Arc::clone(&class) as Arc<dyn ClassObject>);
+
+    // Start the object on host 0.
+    let req = ReservationRequest::instantaneous(class_loid, vault_loid, SimDuration::from_secs(7200))
+        .with_demand(50, 64);
+    let tok = inners[0].make_reservation(&req, fabric.clock().now()).unwrap();
+    let mut spec = ObjectSpec::new(class_loid);
+    spec.initial_state = b"survivor state".to_vec();
+    let obj = inners[0].start_object(&tok, &[spec], fabric.clock().now()).unwrap()[0];
+    class.note_instance_location(obj, inners[0].loid());
+
+    // Arm the sabotage: source dies after deactivation, target dies at
+    // reactivation (admission already granted).
+    wrapped[0].crash_after_deactivate.store(true, Ordering::SeqCst);
+    wrapped[1].crash_on_reactivate.store(true, Ordering::SeqCst);
+
+    let err = migrate_object(&fabric, obj, inners[0].loid(), inners[1].loid()).unwrap_err();
+    assert!(
+        matches!(err.failure, MigrateFailure::TargetDown(h) if h == inners[1].loid()),
+        "expected TargetDown, got: {err}"
+    );
+    assert!(
+        matches!(err.disposition, MigrateDisposition::StrandedInVault(v) if v == vault_loid),
+        "object must rest in the shared vault, got: {err}"
+    );
+    // Nothing is running anywhere; the OPR is intact.
+    assert!(inners.iter().all(|h| h.running_objects().is_empty()));
+    let v = fabric.lookup_vault(vault_loid).unwrap();
+    assert!(v.holds(obj));
+
+    // The Watchdog declares host 0 dead (the Class still places the
+    // object there) and restarts it on the only live host — host 2.
+    let wd = Watchdog::new(fabric.clone(), 1);
+    let now = fabric.clock().advance(SimDuration::from_secs(30));
+    let restarts = wd.patrol(now);
+    assert_eq!(restarts.len(), 1, "exactly one restart");
+    assert_eq!(restarts[0].object, obj);
+    assert_eq!(restarts[0].to, inners[2].loid());
+
+    // Exactly one live instance, on the third host, and the Class
+    // agrees — no loss, no duplication.
+    let live: usize = inners.iter().map(|h| h.running_objects().len()).sum();
+    assert_eq!(live, 1);
+    assert_eq!(inners[2].running_objects(), vec![obj]);
+    assert_eq!(class.instances(), vec![(obj, inners[2].loid())]);
+    // The state survived the double crash.
+    assert_eq!(&v.fetch_opr(obj).unwrap().state[..], b"survivor state");
+    assert_eq!(fabric.metrics().snapshot().monitor_restarts, 1);
+
+    // A second patrol mints nothing new — no duplicate restart.
+    let now = fabric.clock().advance(SimDuration::from_secs(30));
+    assert!(wd.patrol(now).is_empty());
+    let live: usize = inners.iter().map(|h| h.running_objects().len()).sum();
+    assert_eq!(live, 1);
 }
 
 #[test]

@@ -124,6 +124,99 @@ fn recovered_host_is_probed_back_to_health() {
 }
 
 #[test]
+fn flapping_host_resets_misses_on_every_recovery() {
+    // A host that crashes, restarts, and re-joins repeatedly must have
+    // its miss counter reset each time it answers a probe — flapping
+    // must never accumulate into a permanent dead verdict.
+    let w = shared_world();
+    let dog = Watchdog::new(w.fabric.clone(), 3);
+    let h0 = w.hosts[0].loid();
+
+    for round in 0..3 {
+        // Crash and miss twice — one short of the verdict.
+        w.hosts[0].crash();
+        for _ in 0..2 {
+            let now = w.fabric.clock().advance(SimDuration::from_secs(30));
+            dog.patrol(now);
+        }
+        assert_eq!(dog.misses_for(h0), 2, "round {round}");
+        assert!(!dog.considers_dead(h0), "round {round}");
+
+        // Restart: the next answered probe wipes the slate.
+        let now = w.fabric.clock().advance(SimDuration::from_secs(30));
+        w.hosts[0].restart(now);
+        dog.patrol(now);
+        assert_eq!(dog.misses_for(h0), 0, "round {round}: misses reset");
+        assert!(!dog.considers_dead(h0), "round {round}");
+    }
+}
+
+#[test]
+fn unregistered_host_rejoins_with_clean_slate() {
+    // A host declared dead, then unregistered from the fabric, must not
+    // inherit its dead verdict when it later re-registers: patrols
+    // prune miss entries for hosts that are no longer registered.
+    let w = shared_world();
+    let dog = Watchdog::new(w.fabric.clone(), 2);
+    let h0 = w.hosts[0].loid();
+
+    w.hosts[0].crash();
+    for _ in 0..2 {
+        let now = w.fabric.clock().advance(SimDuration::from_secs(30));
+        dog.patrol(now);
+    }
+    assert!(dog.considers_dead(h0));
+
+    // The operator pulls the host out of the fabric entirely.
+    let pulled = w.fabric.unregister_host(h0).expect("host was registered");
+    let now = w.fabric.clock().advance(SimDuration::from_secs(30));
+    dog.patrol(now);
+    assert!(!dog.considers_dead(h0), "stale verdict pruned once unregistered");
+    assert_eq!(dog.misses_for(h0), 0);
+
+    // Repaired and re-joined: it starts from zero misses and is
+    // immediately trusted again.
+    let now = w.fabric.clock().advance(SimDuration::from_secs(30));
+    w.hosts[0].restart(now);
+    w.fabric.register_host(pulled, DomainId(0));
+    dog.patrol(now);
+    assert!(!dog.considers_dead(h0));
+    assert_eq!(dog.misses_for(h0), 0);
+}
+
+#[test]
+fn host_restarted_this_patrol_is_a_recovery_candidate() {
+    // Registry order: h0 (dead, carries the object), h1 restarted just
+    // before this patrol after being considered dead itself. The patrol
+    // must settle *all* probes before recovering h0, so h1's fresh
+    // liveness is visible and it can take the restarted object.
+    let w = shared_world();
+    let obj = start_object(&w, 0);
+    let dog = Watchdog::new(w.fabric.clone(), 2);
+
+    // Both hosts crash; both cross the miss threshold. Nothing can be
+    // recovered yet — there is no live candidate.
+    w.hosts[0].crash();
+    w.hosts[1].crash();
+    for _ in 0..2 {
+        let now = w.fabric.clock().advance(SimDuration::from_secs(30));
+        assert!(dog.patrol(now).is_empty(), "no live host to restart onto");
+    }
+    assert!(dog.considers_dead(w.hosts[0].loid()));
+    assert!(dog.considers_dead(w.hosts[1].loid()));
+
+    // h1 comes back just before the next patrol. Its probe lands in
+    // phase one, so phase two's recovery of h0 can use it.
+    let now = w.fabric.clock().advance(SimDuration::from_secs(30));
+    w.hosts[1].restart(now);
+    let restarts = dog.patrol(now);
+    assert_eq!(restarts.len(), 1, "freshly restarted host accepted the object");
+    assert_eq!(restarts[0].object, obj);
+    assert_eq!(restarts[0].to, w.hosts[1].loid());
+    assert_eq!(w.hosts[1].running_objects(), vec![obj]);
+}
+
+#[test]
 fn partition_looks_like_a_crash_and_triggers_recovery() {
     // Hosts in different domains sharing an accept-all vault that sits
     // in the watchdog's domain. A partition hides host 1; its object is

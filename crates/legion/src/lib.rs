@@ -114,7 +114,10 @@ pub mod prelude {
         DomainId, DomainTopology, Fabric, FaultAction, FaultCounts, FaultPlan,
     };
     pub use legion_hosts::{BatchQueueHost, HostConfig, StandardHost};
-    pub use legion_monitor::{migrate_object, Monitor, Rebalancer, Watchdog};
+    pub use legion_monitor::{
+        migrate_object, migrate_object_with, MigrateError, MigrateFailure, Monitor,
+        RebalanceConfig, Rebalancer, SweepReport, Watchdog,
+    };
     pub use legion_schedule::{Enactor, EnactorConfig, Mapping, ScheduleRequestList};
     pub use legion_network::{NetworkBroker, NetworkDirectory, NetworkObject};
     pub use legion_schedulers::{
