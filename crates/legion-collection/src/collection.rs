@@ -15,7 +15,21 @@
 //! must accompany updates and leaves — "The security facilities of
 //! Legion authenticate the caller to be sure that it is allowed to update
 //! the data in the Collection" (§3.2).
+//!
+//! # Sharding
+//!
+//! Records and their secondary indexes are split across N
+//! independently-locked shards keyed by the member's identifier hash
+//! ([`Loid::digest`] modulo the shard count), so concurrent joins,
+//! updates, and evictions on different members proceed without
+//! serializing on one lock. Queries take a consistent snapshot by
+//! acquiring every shard's read guard (in index order, so lock
+//! acquisition can never deadlock against another reader), fan the
+//! plan out per shard, and merge candidates; every multi-record result
+//! is sorted by member identifier, which makes the sharded paths
+//! bit-identical to a single-map scan regardless of shard count.
 
+use crate::delta::{ChangeLog, DeltaBatch, DeltaOp};
 use crate::index::AttributeIndexes;
 use crate::inject::DerivedAttribute;
 use crate::planner;
@@ -25,25 +39,32 @@ use legion_core::hash::KeyedTag;
 use legion_core::{AttrValue, AttributeDb, LegionError, Loid, LoidKind, SimTime, SpanKind};
 use legion_fabric::MetricsLedger;
 use legion_trace::TraceSink;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// Records plus the secondary indexes over them, under one lock so the
-/// two can never drift apart.
+/// Default shard count — enough to spread writer contention on a
+/// many-core host without making tiny collections pay noticeable
+/// fan-out cost.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// One shard: a slice of the records plus the secondary indexes over
+/// exactly that slice, under one lock so the two can never drift apart.
 #[derive(Default)]
-struct Store {
+struct Shard {
     /// Member → shared record snapshot. Queries clone the `Arc`, not
     /// the record, so results share structure with the store; mutation
     /// goes through [`Arc::make_mut`] and copies only when a past query
     /// result still holds the snapshot.
     records: BTreeMap<Loid, Arc<CollectionRecord>>,
-    /// Per-attribute string/numeric/presence indexes, maintained
-    /// incrementally on every join/update/replace/leave/evict.
+    /// Per-attribute string/trigram/numeric/presence indexes,
+    /// maintained incrementally on every join/update/replace/leave/
+    /// evict.
     indexes: AttributeIndexes,
 }
 
-impl Store {
+impl Shard {
     fn insert(&mut self, record: CollectionRecord) {
         let member = record.member;
         if let Some(old) = self.records.remove(&member) {
@@ -60,20 +81,23 @@ impl Store {
     }
 
     /// Mutates `member`'s attributes in place (copy-on-write against
-    /// outstanding query results), keeping the indexes in sync.
+    /// outstanding query results), keeping the indexes in sync. Returns
+    /// the join timestamp plus, when `want_snapshot`, a clone of the
+    /// post-change attributes (for delta logging).
     fn mutate_attrs(
         &mut self,
         member: Loid,
         now: SimTime,
         f: impl FnOnce(&mut AttributeDb),
-    ) -> Result<(), LegionError> {
+        want_snapshot: bool,
+    ) -> Result<(SimTime, Option<AttributeDb>), LegionError> {
         let rec = self.records.get_mut(&member).ok_or(LegionError::NoSuchObject(member))?;
         self.indexes.remove(member, &rec.attrs);
         let rec = Arc::make_mut(rec);
         f(&mut rec.attrs);
         rec.updated_at = now;
         self.indexes.insert(member, &rec.attrs);
-        Ok(())
+        Ok((rec.joined_at, want_snapshot.then(|| rec.attrs.clone())))
     }
 }
 
@@ -117,28 +141,54 @@ pub struct MemberCredential {
 pub struct Collection {
     loid: Loid,
     secret: u64,
-    store: RwLock<Store>,
+    shards: Vec<RwLock<Shard>>,
     derived: RwLock<Vec<DerivedAttribute>>,
     metrics: RwLock<Option<Arc<MetricsLedger>>>,
     tracer: RwLock<Option<Arc<TraceSink>>>,
+    /// Whether the change log is on — checked without the lock so the
+    /// common (deltas-off) write path pays one relaxed load.
+    deltas_on: AtomicBool,
+    /// The bounded change log feeding push mirrors. Locked *after* a
+    /// shard write guard, always in that order.
+    changelog: Mutex<Option<ChangeLog>>,
 }
 
 impl Collection {
-    /// An empty collection whose credentials derive from `secret`.
+    /// An empty collection whose credentials derive from `secret`, with
+    /// the default shard count.
     pub fn new(secret: u64) -> Arc<Self> {
+        Self::with_shards(secret, DEFAULT_SHARDS)
+    }
+
+    /// An empty collection with an explicit shard count (≥ 1). Shard
+    /// count is a pure concurrency/scaling knob: results of every
+    /// operation are bit-identical across counts.
+    pub fn with_shards(secret: u64, shards: usize) -> Arc<Self> {
+        let shards = shards.max(1);
         Arc::new(Collection {
             loid: Loid::fresh(LoidKind::Service),
             secret,
-            store: RwLock::new(Store::default()),
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
             derived: RwLock::new(Vec::new()),
             metrics: RwLock::new(None),
             tracer: RwLock::new(None),
+            deltas_on: AtomicBool::new(false),
+            changelog: Mutex::new(None),
         })
     }
 
     /// This collection's identifier.
     pub fn loid(&self) -> Loid {
         self.loid
+    }
+
+    /// The shard count this collection was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, member: Loid) -> &RwLock<Shard> {
+        &self.shards[(member.digest() % self.shards.len() as u64) as usize]
     }
 
     /// Attaches the fabric metrics ledger.
@@ -150,6 +200,40 @@ impl Collection {
     /// `collection_query` spans.
     pub fn set_tracer(&self, t: Arc<TraceSink>) {
         *self.tracer.write() = Some(t);
+    }
+
+    /// Turns on the incremental change log (capacity = retained
+    /// deltas), letting push mirrors synchronize via
+    /// [`Self::deltas_since`] instead of full pulls. Existing records
+    /// are *not* retro-logged: a mirror attaching later starts from a
+    /// full snapshot ([`Self::snapshot_with_seq`]).
+    pub fn enable_deltas(&self, capacity: usize) {
+        *self.changelog.lock() = Some(ChangeLog::new(capacity));
+        self.deltas_on.store(true, Ordering::Release);
+    }
+
+    /// The newest delta sequence number (0 when logging is off or
+    /// nothing has changed since it was enabled).
+    pub fn delta_seq(&self) -> u64 {
+        self.changelog.lock().as_ref().map_or(0, ChangeLog::newest_seq)
+    }
+
+    /// The changes after `applied_seq`, for a mirror to apply; reports
+    /// a gap when the bounded log has already dropped some of them.
+    pub fn deltas_since(&self, applied_seq: u64) -> DeltaBatch {
+        self.changelog.lock().as_ref().map_or(DeltaBatch::UpToDate, |l| l.since(applied_seq))
+    }
+
+    /// Appends to the change log if enabled. MUST be called while
+    /// holding the written shard's guard, so log order is consistent
+    /// with per-member store order.
+    fn log_delta(&self, op: impl FnOnce() -> DeltaOp) {
+        if !self.deltas_on.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(log) = self.changelog.lock().as_mut() {
+            log.push(op());
+        }
     }
 
     fn bump(&self, f: impl FnOnce(&MetricsLedger)) {
@@ -191,7 +275,16 @@ impl Collection {
         attrs: AttributeDb,
         now: SimTime,
     ) -> MemberCredential {
-        self.store.write().insert(CollectionRecord::new(joiner, attrs, now));
+        {
+            let mut shard = self.shard_of(joiner).write();
+            shard.insert(CollectionRecord::new(joiner, attrs.clone(), now));
+            self.log_delta(|| DeltaOp::Upsert {
+                member: joiner,
+                attrs,
+                joined_at: now,
+                updated_at: now,
+            });
+        }
         self.bump(|m| MetricsLedger::bump(&m.collection_updates));
         self.credential_for(joiner)
     }
@@ -199,11 +292,14 @@ impl Collection {
     /// `LeaveCollection(LOID)`.
     pub fn leave(&self, cred: &MemberCredential) -> Result<(), LegionError> {
         self.authenticate(cred)?;
-        self.store
-            .write()
-            .remove(cred.member)
-            .map(|_| ())
-            .ok_or(LegionError::NoSuchObject(cred.member))
+        let mut shard = self.shard_of(cred.member).write();
+        let removed = shard.remove(cred.member);
+        if removed.is_some() {
+            self.log_delta(|| DeltaOp::Remove { member: cred.member });
+            Ok(())
+        } else {
+            Err(LegionError::NoSuchObject(cred.member))
+        }
     }
 
     /// `UpdateCollectionEntry(LOID, attrs)` — push-model refresh; merges
@@ -215,7 +311,7 @@ impl Collection {
         now: SimTime,
     ) -> Result<(), LegionError> {
         self.authenticate(cred)?;
-        self.store.write().mutate_attrs(cred.member, now, |db| db.merge_from(attrs))?;
+        self.mutate_logged(cred.member, now, |db| db.merge_from(attrs))?;
         self.bump(|m| MetricsLedger::bump(&m.collection_updates));
         Ok(())
     }
@@ -228,9 +324,104 @@ impl Collection {
         now: SimTime,
     ) -> Result<(), LegionError> {
         self.authenticate(cred)?;
-        self.store.write().mutate_attrs(cred.member, now, |db| *db = attrs)?;
+        self.mutate_logged(cred.member, now, |db| *db = attrs)?;
         self.bump(|m| MetricsLedger::bump(&m.collection_updates));
         Ok(())
+    }
+
+    fn mutate_logged(
+        &self,
+        member: Loid,
+        now: SimTime,
+        f: impl FnOnce(&mut AttributeDb),
+    ) -> Result<(), LegionError> {
+        let logging = self.deltas_on.load(Ordering::Acquire);
+        let mut shard = self.shard_of(member).write();
+        let (joined_at, snapshot) = shard.mutate_attrs(member, now, f, logging)?;
+        if let Some(attrs) = snapshot {
+            self.log_delta(|| DeltaOp::Upsert { member, attrs, joined_at, updated_at: now });
+        }
+        Ok(())
+    }
+
+    /// Freshness bump without an attribute change (the incremental
+    /// pull daemon's no-change fast path): only `updated_at` moves, no
+    /// index is rewritten, and mirrors get a [`DeltaOp::Touch`] instead
+    /// of a full attribute snapshot.
+    pub fn touch(&self, cred: &MemberCredential, now: SimTime) -> Result<(), LegionError> {
+        self.authenticate(cred)?;
+        let mut shard = self.shard_of(cred.member).write();
+        let rec = shard
+            .records
+            .get_mut(&cred.member)
+            .ok_or(LegionError::NoSuchObject(cred.member))?;
+        Arc::make_mut(rec).updated_at = now;
+        self.log_delta(|| DeltaOp::Touch { member: cred.member, updated_at: now });
+        drop(shard);
+        self.bump(|m| MetricsLedger::bump(&m.collection_updates));
+        Ok(())
+    }
+
+    /// Applies a mirror-side upsert: the record is installed exactly as
+    /// shipped (both timestamps preserved), bypassing credentials — the
+    /// mirror trusts its source link, not its members.
+    pub(crate) fn apply_upsert(
+        &self,
+        member: Loid,
+        attrs: AttributeDb,
+        joined_at: SimTime,
+        updated_at: SimTime,
+    ) {
+        let mut shard = self.shard_of(member).write();
+        shard.insert(CollectionRecord { member, attrs: attrs.clone(), joined_at, updated_at });
+        self.log_delta(|| DeltaOp::Upsert { member, attrs, joined_at, updated_at });
+    }
+
+    /// Applies a mirror-side freshness bump. Unknown members are
+    /// ignored (the gap-detection path handles real divergence).
+    pub(crate) fn apply_touch(&self, member: Loid, updated_at: SimTime) {
+        let mut shard = self.shard_of(member).write();
+        if let Some(rec) = shard.records.get_mut(&member) {
+            Arc::make_mut(rec).updated_at = updated_at;
+            self.log_delta(|| DeltaOp::Touch { member, updated_at });
+        }
+    }
+
+    /// Applies a mirror-side removal.
+    pub(crate) fn apply_remove(&self, member: Loid) {
+        let mut shard = self.shard_of(member).write();
+        if shard.remove(member).is_some() {
+            self.log_delta(|| DeltaOp::Remove { member });
+        }
+    }
+
+    /// Replaces the entire contents with `records` (mirror full
+    /// resync). Emits Remove/Upsert deltas for any downstream log.
+    pub(crate) fn replace_all(&self, records: Vec<Arc<CollectionRecord>>) {
+        for shard_lock in &self.shards {
+            let mut shard = shard_lock.write();
+            let members: Vec<Loid> = shard.records.keys().copied().collect();
+            for member in members {
+                shard.remove(member);
+                self.log_delta(|| DeltaOp::Remove { member });
+            }
+        }
+        for rec in records {
+            self.apply_upsert(rec.member, rec.attrs.clone(), rec.joined_at, rec.updated_at);
+        }
+    }
+
+    /// An atomic (records, newest-delta-seq) snapshot: every shard's
+    /// read guard plus the change-log lock are held together, so no
+    /// change can fall between the records and the sequence number —
+    /// the full-resync anchor for mirrors that hit a gap.
+    pub fn snapshot_with_seq(&self) -> (Vec<Arc<CollectionRecord>>, u64) {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let seq = self.changelog.lock().as_ref().map_or(0, ChangeLog::newest_seq);
+        let mut records: Vec<Arc<CollectionRecord>> =
+            guards.iter().flat_map(|g| g.records.values().cloned()).collect();
+        records.sort_unstable_by_key(|r| r.member);
+        (records, seq)
     }
 
     /// `QueryCollection(String, &result)` — parses and runs a query.
@@ -242,34 +433,67 @@ impl Collection {
     /// Runs a pre-compiled query (Schedulers reuse compiled queries).
     ///
     /// The engine first plans the query (see [`crate::planner`]): when
-    /// an indexable conjunct exists, the secondary indexes produce a
-    /// candidate set and only those records are evaluated; otherwise
-    /// every record is scanned. Either way the *full* query is
-    /// re-evaluated on each candidate, so index lookups only need to
-    /// over-approximate, never to be exact — results are identical to
-    /// [`Self::query_scan`] by construction (and by the proptest
-    /// equivalence suite).
+    /// an indexable conjunct exists, each shard's secondary indexes
+    /// produce a sorted candidate list, conjuncts intersect by linear
+    /// merge, and only surviving candidates are evaluated; otherwise
+    /// every record is scanned. When the plan is *exact* (its candidate
+    /// set provably equals the satisfying set — e.g. the paper's
+    /// anchored-regex conjunction) and no derived attributes are
+    /// installed, the residual re-evaluation is skipped entirely and
+    /// hits are zero-copy `Arc` clones. Either way results are
+    /// identical to [`Self::query_scan`] by construction (and by the
+    /// proptest equivalence suite, across shard counts).
     ///
     /// A plan is only executed when its cheap cardinality estimate says
-    /// it would narrow evaluation below half the records; a technically
-    /// indexable but non-selective predicate (e.g. `$host_load >= 0.0`)
-    /// costs more through candidate-set algebra than a straight scan,
-    /// so it takes the scan path.
+    /// it would narrow evaluation below half the records; the estimate
+    /// is capped, and provably-unselective predicates (e.g.
+    /// `$host_load >= 0.0`) answer from maintained totals without
+    /// walking any index bucket before the engine routes them to the
+    /// scan path.
     pub fn query_parsed(&self, query: &Query) -> Vec<Arc<CollectionRecord>> {
         self.bump(|m| MetricsLedger::bump(&m.collection_queries));
         let span = self.query_span();
         let derived = self.derived.read();
-        let store = self.store.read();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let total: usize = guards.iter().map(|g| g.records.len()).sum();
         let is_derived = |name: &str| derived.iter().any(|d| d.name() == name);
+        let hints_for = |pattern: &str| query.hints_for(pattern);
+        let plan = planner::plan(query.expr(), &is_derived, &hints_for).filter(|p| {
+            let cap = total / 2 + 1;
+            let mut est = 0usize;
+            for g in &guards {
+                est = est.saturating_add(p.estimate(&g.indexes, cap));
+                if est >= cap {
+                    break;
+                }
+            }
+            2 * est < total
+        });
+        let exact = plan.as_ref().is_some_and(|p| p.exact) && derived.is_empty();
+        span.attr("indexed", plan.is_some());
+        span.attr("exact", exact);
         let mut out = Vec::new();
         let mut scanned: u64 = 0;
-        let plan = planner::plan(query.expr(), &is_derived)
-            .filter(|p| 2 * p.estimate(&store.indexes) < store.records.len());
-        span.attr("indexed", plan.is_some());
         match plan {
             Some(plan) => {
-                for member in plan.execute(&store.indexes) {
-                    if let Some(rec) = store.records.get(&member) {
+                for g in &guards {
+                    for member in plan.execute(&g.indexes) {
+                        if let Some(rec) = g.records.get(&member) {
+                            if exact {
+                                out.push(Arc::clone(rec));
+                            } else {
+                                scanned += 1;
+                                if let Some(hit) = eval_record(query, &derived, rec) {
+                                    out.push(hit);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                for g in &guards {
+                    for rec in g.records.values() {
                         scanned += 1;
                         if let Some(hit) = eval_record(query, &derived, rec) {
                             out.push(hit);
@@ -277,15 +501,8 @@ impl Collection {
                     }
                 }
             }
-            None => {
-                for rec in store.records.values() {
-                    scanned += 1;
-                    if let Some(hit) = eval_record(query, &derived, rec) {
-                        out.push(hit);
-                    }
-                }
-            }
         }
+        out.sort_unstable_by_key(|r| r.member);
         self.bump(|m| MetricsLedger::bump_by(&m.collection_records_scanned, scanned));
         span.attr("scanned", scanned as i64);
         span.attr("hits", out.len() as i64);
@@ -302,40 +519,48 @@ impl Collection {
         let span = self.query_span();
         span.attr("indexed", false);
         let derived = self.derived.read();
-        let store = self.store.read();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
         let mut out = Vec::new();
-        for rec in store.records.values() {
-            if let Some(hit) = eval_record(query, &derived, rec) {
-                out.push(hit);
+        let mut total = 0usize;
+        for g in &guards {
+            total += g.records.len();
+            for rec in g.records.values() {
+                if let Some(hit) = eval_record(query, &derived, rec) {
+                    out.push(hit);
+                }
             }
         }
-        self.bump(|m| {
-            MetricsLedger::bump_by(&m.collection_records_scanned, store.records.len() as u64)
-        });
-        span.attr("scanned", store.records.len() as i64);
+        out.sort_unstable_by_key(|r| r.member);
+        self.bump(|m| MetricsLedger::bump_by(&m.collection_records_scanned, total as u64));
+        span.attr("scanned", total as i64);
         span.attr("hits", out.len() as i64);
         span.end_ok();
         out
     }
 
-    /// Returns every record (diagnostics; not part of Fig. 4).
+    /// Returns every record (diagnostics; not part of Fig. 4), sorted
+    /// by member.
     pub fn dump(&self) -> Vec<Arc<CollectionRecord>> {
-        self.store.read().records.values().cloned().collect()
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let mut out: Vec<Arc<CollectionRecord>> =
+            guards.iter().flat_map(|g| g.records.values().cloned()).collect();
+        out.sort_unstable_by_key(|r| r.member);
+        out
     }
 
     /// Reads one member's record.
     pub fn get(&self, member: Loid) -> Option<Arc<CollectionRecord>> {
-        self.store.read().records.get(&member).cloned()
+        self.shard_of(member).read().records.get(&member).cloned()
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.store.read().records.len()
+        self.shards.iter().map(|s| s.read().records.len()).sum()
     }
 
     /// Whether the collection has no records.
     pub fn is_empty(&self) -> bool {
-        self.store.read().records.is_empty()
+        self.shards.iter().all(|s| s.read().records.is_empty())
     }
 
     /// Installs a derived-attribute function (function injection, §3.2).
@@ -345,17 +570,22 @@ impl Collection {
 
     /// Maximum staleness across records at `now`.
     pub fn max_staleness(&self, now: SimTime) -> legion_core::SimDuration {
-        self.store
-            .read()
-            .records
-            .values()
-            .map(|r| r.staleness(now))
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .records
+                    .values()
+                    .map(|r| r.staleness(now))
+                    .max()
+                    .unwrap_or(legion_core::SimDuration::ZERO)
+            })
             .max()
             .unwrap_or(legion_core::SimDuration::ZERO)
     }
 
-    /// Records refreshed within `ttl` of `now`, plus the count of stale
-    /// records skipped.
+    /// Records refreshed within `ttl` of `now` (sorted by member), plus
+    /// the count of stale records skipped.
     ///
     /// The closed-loop rebalancer plans only on fresh data (TTL-aware
     /// source selection): a record that has stopped refreshing is
@@ -367,26 +597,29 @@ impl Collection {
         now: SimTime,
         ttl: legion_core::SimDuration,
     ) -> (Vec<Arc<CollectionRecord>>, usize) {
-        let store = self.store.read();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
         let mut fresh = Vec::new();
         let mut stale = 0;
-        for rec in store.records.values() {
-            if rec.staleness(now) <= ttl {
-                fresh.push(Arc::clone(rec));
-            } else {
-                stale += 1;
+        for g in &guards {
+            for rec in g.records.values() {
+                if rec.staleness(now) <= ttl {
+                    fresh.push(Arc::clone(rec));
+                } else {
+                    stale += 1;
+                }
             }
         }
+        fresh.sort_unstable_by_key(|r| r.member);
         (fresh, stale)
     }
 
     /// Convenience for members: read an attribute from a record.
     pub fn member_attr(&self, member: Loid, name: &str) -> Option<AttrValue> {
-        self.store.read().records.get(&member).and_then(|r| r.attrs.get(name).cloned())
+        self.shard_of(member).read().records.get(&member).and_then(|r| r.attrs.get(name).cloned())
     }
 
     /// Evicts every record staler than `ttl` at `now`, returning the
-    /// evicted members.
+    /// evicted members sorted by identifier.
     ///
     /// A crashed host cannot leave the Collection gracefully — it just
     /// falls silent, and without eviction its last description keeps
@@ -398,17 +631,23 @@ impl Collection {
         now: SimTime,
         ttl: legion_core::SimDuration,
     ) -> Vec<Loid> {
-        let mut store = self.store.write();
-        let dead: Vec<Loid> = store
-            .records
-            .values()
-            .filter(|r| r.staleness(now) > ttl)
-            .map(|r| r.member)
-            .collect();
-        for member in &dead {
-            store.remove(*member);
-            self.bump(|m| MetricsLedger::bump(&m.collection_evictions));
+        let mut dead = Vec::new();
+        for shard_lock in &self.shards {
+            let mut shard = shard_lock.write();
+            let stale: Vec<Loid> = shard
+                .records
+                .values()
+                .filter(|r| r.staleness(now) > ttl)
+                .map(|r| r.member)
+                .collect();
+            for member in stale {
+                shard.remove(member);
+                self.log_delta(|| DeltaOp::Remove { member });
+                self.bump(|m| MetricsLedger::bump(&m.collection_evictions));
+                dead.push(member);
+            }
         }
+        dead.sort_unstable();
         dead
     }
 }
@@ -556,5 +795,71 @@ mod tests {
         assert_eq!(rs.len(), 1);
         // The returned view carries the derived value.
         assert_eq!(rs[0].attrs.get_f64("host_load_doubled"), Some(0.8));
+    }
+
+    #[test]
+    fn touch_bumps_freshness_without_changing_attrs() {
+        let c = Collection::new(42);
+        let cred = c.join_with(l(1), host_attrs("IRIX", 0.2), SimTime::ZERO);
+        c.touch(&cred, SimTime::from_secs(9)).unwrap();
+        let rec = c.get(l(1)).unwrap();
+        assert_eq!(rec.updated_at, SimTime::from_secs(9));
+        assert_eq!(rec.attrs.get_str("host_os_name"), Some("IRIX"));
+        // Indexes still serve the untouched attributes.
+        assert_eq!(c.query(r#"$host_os_name == "IRIX""#).unwrap().len(), 1);
+        // Touch is authenticated like any other update.
+        let forged = MemberCredential { member: l(1), tag: cred.tag ^ 1 };
+        assert!(matches!(c.touch(&forged, SimTime::ZERO), Err(LegionError::AuthFailed)));
+        // Touching a departed member reports it.
+        c.leave(&cred).unwrap();
+        assert!(matches!(
+            c.touch(&cred, SimTime::from_secs(10)),
+            Err(LegionError::NoSuchObject(_))
+        ));
+    }
+
+    #[test]
+    fn shard_counts_agree_on_everything() {
+        let queries = [
+            r#"$host_os_name == "IRIX""#,
+            "$host_load < 0.45",
+            r#"match("^IR", $host_os_name)"#,
+            "not exists($gpu)",
+        ];
+        let collections: Vec<_> =
+            [1usize, 2, 8].iter().map(|&n| Collection::with_shards(42, n)).collect();
+        for c in &collections {
+            for i in 0..20u64 {
+                c.join_with(
+                    l(i),
+                    host_attrs(if i % 3 == 0 { "IRIX" } else { "Linux" }, i as f64 / 20.0),
+                    SimTime::ZERO,
+                );
+            }
+        }
+        let reference = &collections[0];
+        for c in &collections[1..] {
+            assert_eq!(c.len(), reference.len());
+            assert_eq!(c.dump(), reference.dump());
+            for q in queries {
+                assert_eq!(c.query(q).unwrap(), reference.query(q).unwrap(), "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_log_records_membership_changes() {
+        use crate::delta::{DeltaBatch, DeltaOp};
+        let c = Collection::new(42);
+        c.enable_deltas(16);
+        let cred = c.join_with(l(1), host_attrs("IRIX", 0.2), SimTime::ZERO);
+        c.touch(&cred, SimTime::from_secs(1)).unwrap();
+        c.leave(&cred).unwrap();
+        assert_eq!(c.delta_seq(), 3);
+        let DeltaBatch::Ops(ops) = c.deltas_since(0) else { panic!("expected ops") };
+        assert!(matches!(ops[0].op, DeltaOp::Upsert { member, .. } if member == l(1)));
+        assert!(matches!(ops[1].op, DeltaOp::Touch { member, .. } if member == l(1)));
+        assert!(matches!(ops[2].op, DeltaOp::Remove { member } if member == l(1)));
+        assert_eq!(c.deltas_since(3), DeltaBatch::UpToDate);
     }
 }

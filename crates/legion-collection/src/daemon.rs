@@ -8,15 +8,24 @@
 //! target Collection.
 //!
 //! Each `pull_once` sweep reads every registered host's attribute
-//! database and replaces its record in every target, optionally feeding
-//! a [`LoadForecaster`] so forecast injection stays current. The sweep
-//! interval bounds record staleness — experiment E-F4 measures the
-//! push-vs-pull freshness trade-off.
+//! database and refreshes its record in every target, optionally
+//! feeding a [`LoadForecaster`] so forecast injection stays current.
+//! The sweep interval bounds record staleness — experiment E-F4
+//! measures the push-vs-pull freshness trade-off.
+//!
+//! Sweeps are *incremental*: the daemon remembers a canonical digest of
+//! each host's last-pushed attributes, and when a new snapshot hashes
+//! identically it issues [`Collection::touch`] — a freshness bump that
+//! rewrites no indexes and ships a tiny [`Touch`](crate::delta::DeltaOp)
+//! delta to push mirrors — instead of a wholesale replace. An idle
+//! fleet therefore costs each sweep O(hosts) hash-and-touch, not
+//! O(hosts × attrs) index churn.
 
 use crate::collection::{Collection, MemberCredential};
 use crate::inject::LoadForecaster;
+use legion_core::hash::KeyedTag;
 use legion_core::host::well_known;
-use legion_core::{HostObject, Loid, LoidKind, SimTime};
+use legion_core::{AttrValue, AttributeDb, HostObject, Loid, LoidKind, SimTime};
 use legion_fabric::Fabric;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -24,7 +33,39 @@ use std::sync::Arc;
 
 struct Target {
     collection: Arc<Collection>,
-    credentials: BTreeMap<Loid, MemberCredential>,
+    /// Per-member credential plus the canonical digest of the
+    /// attributes last pushed, for the touch-vs-replace decision.
+    credentials: BTreeMap<Loid, (MemberCredential, u64)>,
+}
+
+/// A canonical digest of an attribute database: name-ordered (the
+/// database iterates in name order), type-tagged, with floats hashed by
+/// bit pattern and lists recursively. Two databases digest equally iff
+/// they are semantically identical, so a matching digest justifies a
+/// touch instead of a replace.
+fn attrs_digest(attrs: &AttributeDb) -> u64 {
+    let mut t = KeyedTag::new(0xDA7AD16E57u64);
+    for (name, value) in attrs.iter() {
+        t.write_bytes(name.as_bytes());
+        hash_value(&mut t, value);
+    }
+    t.finish()
+}
+
+fn hash_value(t: &mut KeyedTag, value: &AttrValue) {
+    match value {
+        AttrValue::Int(i) => t.write_u64(1).write_u64(*i as u64),
+        AttrValue::Float(f) => t.write_u64(2).write_u64(f.to_bits()),
+        AttrValue::Str(s) => t.write_u64(3).write_bytes(s.as_bytes()),
+        AttrValue::Bool(b) => t.write_u64(4).write_u64(*b as u64),
+        AttrValue::List(items) => {
+            t.write_u64(5).write_u64(items.len() as u64);
+            for item in items {
+                hash_value(t, item);
+            }
+            t
+        }
+    };
 }
 
 /// Pulls host state into one or more Collections on demand.
@@ -121,19 +162,37 @@ impl DataCollectionDaemon {
                     f.observe(loid, load);
                 }
             }
+            let digest = attrs_digest(&attrs);
             let mut targets = self.targets.write();
             for t in targets.iter_mut() {
                 match t.credentials.get(&loid) {
-                    Some(cred) => {
+                    // Unchanged snapshot: bump freshness only. No index
+                    // rewrite, and push mirrors get a Touch delta
+                    // instead of the full attribute set.
+                    Some((cred, last)) if *last == digest => {
+                        match t.collection.touch(cred, now) {
+                            Ok(()) => refreshed += 1,
+                            Err(legion_core::LegionError::NoSuchObject(_)) => {
+                                // TTL-evicted while unreachable — re-join.
+                                let cred = t.collection.join_with(loid, attrs.clone(), now);
+                                t.credentials.insert(loid, (cred, digest));
+                                refreshed += 1;
+                            }
+                            Err(_) => {}
+                        }
+                    }
+                    Some((cred, _)) => {
                         // Replace wholesale: the pull model snapshots
                         // state. A missing record means the member was
                         // TTL-evicted while unreachable — re-join.
                         match t.collection.replace(cred, attrs.clone(), now) {
-                            Ok(()) => refreshed += 1,
+                            Ok(()) => {
+                                t.credentials.get_mut(&loid).unwrap().1 = digest;
+                                refreshed += 1;
+                            }
                             Err(legion_core::LegionError::NoSuchObject(_)) => {
-                                let cred =
-                                    t.collection.join_with(loid, attrs.clone(), now);
-                                t.credentials.insert(loid, cred);
+                                let cred = t.collection.join_with(loid, attrs.clone(), now);
+                                t.credentials.insert(loid, (cred, digest));
                                 refreshed += 1;
                             }
                             Err(_) => {}
@@ -141,7 +200,7 @@ impl DataCollectionDaemon {
                     }
                     None => {
                         let cred = t.collection.join_with(loid, attrs.clone(), now);
-                        t.credentials.insert(loid, cred);
+                        t.credentials.insert(loid, (cred, digest));
                         refreshed += 1;
                     }
                 }
@@ -253,6 +312,36 @@ mod tests {
         h1.restart(SimTime::from_secs(120));
         assert_eq!(d.pull_once(SimTime::from_secs(120)), 2);
         assert!(c.get(h1.loid()).is_some());
+    }
+
+    #[test]
+    fn unchanged_hosts_are_touched_not_replaced() {
+        use crate::delta::{DeltaBatch, DeltaOp};
+        let c = Collection::new(7);
+        c.enable_deltas(64);
+        let d = DataCollectionDaemon::new(Arc::clone(&c));
+        let h = StandardHost::new(HostConfig::unix("h0", "uva.edu"), Arc::new(EmptyDir), 1);
+        d.track_host(h.clone());
+
+        assert_eq!(d.pull_once(SimTime::ZERO), 1); // join → Upsert
+        assert_eq!(d.pull_once(SimTime::from_secs(5)), 1); // no change → Touch
+        // Background load shifts: the next snapshot digests differently.
+        h.set_background_load(legion_hosts::BackgroundLoad::steady(0.7));
+        h.reassess(SimTime::from_secs(10));
+        assert_eq!(d.pull_once(SimTime::from_secs(10)), 1); // change → Upsert
+
+        let DeltaBatch::Ops(ops) = c.deltas_since(0) else { panic!("expected ops") };
+        let kinds: Vec<_> = ops
+            .iter()
+            .map(|d| match d.op {
+                DeltaOp::Upsert { .. } => "upsert",
+                DeltaOp::Touch { .. } => "touch",
+                DeltaOp::Remove { .. } => "remove",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["upsert", "touch", "upsert"]);
+        // The touch still bumped freshness at the time.
+        assert_eq!(c.get(h.loid()).unwrap().updated_at, SimTime::from_secs(10));
     }
 
     #[test]

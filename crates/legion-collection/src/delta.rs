@@ -1,0 +1,179 @@
+//! Incremental change deltas — the push-federation substrate.
+//!
+//! A Collection can opt into keeping a bounded, sequence-numbered log
+//! of its membership changes ([`Collection::enable_deltas`]
+//! (crate::collection::Collection::enable_deltas)). Downstream mirrors
+//! (see [`crate::federation`]) then synchronize by *pulling the log*,
+//! not the records: each sync call ships only the operations since the
+//! mirror's last applied sequence number. A mirror that has fallen
+//! further behind than the log's capacity gets [`DeltaBatch::Gap`] and
+//! must full-resync from an atomic snapshot — the log never invents a
+//! lossy catch-up.
+//!
+//! Three operation kinds keep the common case cheap:
+//!
+//! * [`DeltaOp::Upsert`] — a join, update, or replace; carries the full
+//!   attribute snapshot plus both timestamps so the mirror's record is
+//!   byte-identical to the source's,
+//! * [`DeltaOp::Touch`] — a freshness bump with unchanged attributes
+//!   (the incremental pull daemon's no-change fast path); mirrors
+//!   update `updated_at` without touching indexes,
+//! * [`DeltaOp::Remove`] — a leave or TTL eviction.
+
+use legion_core::{AttributeDb, Loid, SimTime};
+use std::collections::VecDeque;
+
+/// One logged membership change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp {
+    /// Join/update/replace: the record's full post-change state.
+    Upsert {
+        /// The member.
+        member: Loid,
+        /// The complete attribute snapshot after the change.
+        attrs: AttributeDb,
+        /// When the member originally joined.
+        joined_at: SimTime,
+        /// When this change happened.
+        updated_at: SimTime,
+    },
+    /// Freshness bump with unchanged attributes.
+    Touch {
+        /// The member.
+        member: Loid,
+        /// The new freshness timestamp.
+        updated_at: SimTime,
+    },
+    /// Leave or eviction.
+    Remove {
+        /// The departed member.
+        member: Loid,
+    },
+}
+
+/// A sequence-stamped [`DeltaOp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Monotonic sequence number (1-based; 0 means "nothing applied").
+    pub seq: u64,
+    /// The change.
+    pub op: DeltaOp,
+}
+
+/// What a mirror gets when it asks for changes after its sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaBatch {
+    /// Nothing new.
+    UpToDate,
+    /// The ordered changes to apply.
+    Ops(Vec<Delta>),
+    /// The log no longer reaches back far enough: deltas were dropped
+    /// between the mirror's sequence and `oldest_available`. The mirror
+    /// must full-resync.
+    Gap {
+        /// The oldest sequence still in the log.
+        oldest_available: u64,
+        /// The newest sequence in the log.
+        newest: u64,
+    },
+}
+
+/// The bounded change log.
+#[derive(Debug)]
+pub struct ChangeLog {
+    log: VecDeque<Delta>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl ChangeLog {
+    /// An empty log retaining at most `capacity` deltas.
+    pub fn new(capacity: usize) -> Self {
+        ChangeLog { log: VecDeque::new(), capacity: capacity.max(1), next_seq: 1 }
+    }
+
+    /// Appends `op`, evicting the oldest delta when full. Returns the
+    /// assigned sequence number.
+    pub fn push(&mut self, op: DeltaOp) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.log.len() == self.capacity {
+            self.log.pop_front();
+        }
+        self.log.push_back(Delta { seq, op });
+        seq
+    }
+
+    /// The newest sequence number assigned (0 when nothing was ever
+    /// logged).
+    pub fn newest_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// The changes after `applied_seq`, or a gap report when the log
+    /// has already dropped some of them.
+    pub fn since(&self, applied_seq: u64) -> DeltaBatch {
+        if applied_seq >= self.newest_seq() {
+            return DeltaBatch::UpToDate;
+        }
+        match self.log.front() {
+            // Log drained but newest_seq says there were changes: every
+            // one of them is gone.
+            None => DeltaBatch::Gap { oldest_available: self.next_seq, newest: self.newest_seq() },
+            Some(front) if front.seq > applied_seq + 1 => {
+                DeltaBatch::Gap { oldest_available: front.seq, newest: self.newest_seq() }
+            }
+            Some(_) => DeltaBatch::Ops(
+                self.log.iter().filter(|d| d.seq > applied_seq).cloned().collect(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::LoidKind;
+
+    fn rm(seq: u64) -> DeltaOp {
+        DeltaOp::Remove { member: Loid::synthetic(LoidKind::Host, seq) }
+    }
+
+    #[test]
+    fn sequences_are_monotonic_and_batches_ordered() {
+        let mut log = ChangeLog::new(8);
+        assert_eq!(log.newest_seq(), 0);
+        assert_eq!(log.since(0), DeltaBatch::UpToDate);
+        assert_eq!(log.push(rm(1)), 1);
+        assert_eq!(log.push(rm(2)), 2);
+        assert_eq!(log.push(rm(3)), 3);
+        let DeltaBatch::Ops(ops) = log.since(1) else { panic!("expected ops") };
+        assert_eq!(ops.iter().map(|d| d.seq).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(log.since(3), DeltaBatch::UpToDate);
+        assert_eq!(log.since(7), DeltaBatch::UpToDate); // future seq: nothing newer
+    }
+
+    #[test]
+    fn overflow_reports_a_gap() {
+        let mut log = ChangeLog::new(3);
+        for i in 1..=5 {
+            log.push(rm(i));
+        }
+        // Log holds 3..=5; a mirror at 1 missed seq 2.
+        assert_eq!(log.since(1), DeltaBatch::Gap { oldest_available: 3, newest: 5 });
+        // A mirror at 2 can still catch up: 3 is the next it needs.
+        let DeltaBatch::Ops(ops) = log.since(2) else { panic!("expected ops") };
+        assert_eq!(ops.len(), 3);
+        // A mirror at 0 (never synced) is also gapped.
+        assert_eq!(log.since(0), DeltaBatch::Gap { oldest_available: 3, newest: 5 });
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let mut log = ChangeLog::new(0);
+        log.push(rm(1));
+        log.push(rm(2));
+        assert_eq!(log.since(1), DeltaBatch::Ops(vec![Delta { seq: 2, op: rm(2) }]));
+        assert_eq!(log.since(0), DeltaBatch::Gap { oldest_available: 2, newest: 2 });
+    }
+}

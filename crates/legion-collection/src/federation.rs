@@ -17,17 +17,56 @@
 //! its own set of injected derived attributes), so a selective query
 //! stays sublinear in every domain it fans out to. Hits are `Arc`
 //! snapshots shared with the member Collections, not deep copies.
+//!
+//! # Push-updated members
+//!
+//! A remote domain's Collection can be federated *by mirror* instead of
+//! by direct reference: [`FederatedCollection::add_push_member`] keeps a
+//! local mirror that synchronizes through the source's incremental
+//! change log (see [`crate::delta`]) rather than periodic full pulls.
+//! Each [`FederatedCollection::push_sync`] ships only the deltas since
+//! the mirror's per-link applied sequence number; a link that fell
+//! further behind than the source's log capacity detects the sequence
+//! gap and full-resyncs from an atomic snapshot. Links whose source
+//! domain is partitioned from the mirror's domain (per the attached
+//! fabric) are skipped — their mirrored records then age out through
+//! the ordinary TTL eviction, exactly like a silent pull target.
 
 use crate::collection::Collection;
+use crate::delta::{DeltaBatch, DeltaOp};
 use crate::query::{parse_query, Query};
 use crate::record::CollectionRecord;
-use legion_core::{LegionError, Loid};
+use legion_core::{LegionError, Loid, SimTime};
+use legion_fabric::Fabric;
 use parking_lot::RwLock;
 use std::sync::Arc;
+
+/// A source→mirror delta-replication link.
+struct PushLink {
+    source: Arc<Collection>,
+    mirror: Arc<Collection>,
+    /// Newest source delta sequence the mirror has applied.
+    applied_seq: u64,
+}
+
+/// What one [`FederatedCollection::push_sync`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PushSyncReport {
+    /// Individual delta operations applied across all links.
+    pub applied_ops: usize,
+    /// Links that detected a sequence gap and full-resynced.
+    pub resyncs: usize,
+    /// Links that were already up to date.
+    pub up_to_date: usize,
+    /// Links skipped because source and mirror domains are partitioned.
+    pub skipped_partitioned: usize,
+}
 
 /// A queryable federation of per-domain Collections.
 pub struct FederatedCollection {
     members: RwLock<Vec<(String, Arc<Collection>)>>,
+    push_links: RwLock<Vec<PushLink>>,
+    fabric: RwLock<Option<Arc<Fabric>>>,
 }
 
 /// A federated query hit: the record plus which member produced it.
@@ -42,12 +81,110 @@ pub struct FederatedRecord {
 impl FederatedCollection {
     /// An empty federation.
     pub fn new() -> Arc<Self> {
-        Arc::new(FederatedCollection { members: RwLock::new(Vec::new()) })
+        Arc::new(FederatedCollection::default())
     }
 
     /// Adds a member Collection under `label`.
     pub fn add_member(&self, label: impl Into<String>, collection: Arc<Collection>) {
         self.members.write().push((label.into(), collection));
+    }
+
+    /// Attaches the fabric so push links honor domain partitions: a
+    /// link whose source is partitioned from its mirror is skipped by
+    /// [`Self::push_sync`] until the partition heals.
+    pub fn attach_fabric(&self, fabric: Arc<Fabric>) {
+        *self.fabric.write() = Some(fabric);
+    }
+
+    /// Federates `source` by local mirror with incremental push
+    /// replication. The source must have its change log enabled
+    /// ([`Collection::enable_deltas`]); the link starts from a full
+    /// atomic snapshot and thereafter applies only deltas on each
+    /// [`Self::push_sync`]. Queries against the federation hit the
+    /// mirror, never the (possibly remote, possibly partitioned)
+    /// source. Returns the mirror so callers can place it in a fabric
+    /// domain or run TTL eviction on it.
+    pub fn add_push_member(
+        &self,
+        label: impl Into<String>,
+        source: Arc<Collection>,
+    ) -> Arc<Collection> {
+        let mirror = Collection::new(source.loid().digest());
+        let (records, seq) = source.snapshot_with_seq();
+        mirror.replace_all(records);
+        self.members.write().push((label.into(), Arc::clone(&mirror)));
+        self.push_links.write().push(PushLink {
+            source,
+            mirror: Arc::clone(&mirror),
+            applied_seq: seq,
+        });
+        mirror
+    }
+
+    /// Synchronizes every push link: ships and applies the deltas since
+    /// each link's applied sequence, full-resyncing any link whose
+    /// source log has already dropped deltas it needs (the gap path),
+    /// and skipping links across a partition. `UpToDate` links cost one
+    /// sequence comparison — no records move when nothing changed.
+    pub fn push_sync(&self) -> PushSyncReport {
+        let fabric = self.fabric.read().clone();
+        let mut report = PushSyncReport::default();
+        for link in self.push_links.write().iter_mut() {
+            if let Some(f) = fabric.as_ref() {
+                let a = f.domain_of(link.source.loid());
+                let b = f.domain_of(link.mirror.loid());
+                if f.is_partitioned(a, b) {
+                    report.skipped_partitioned += 1;
+                    continue;
+                }
+            }
+            match link.source.deltas_since(link.applied_seq) {
+                DeltaBatch::UpToDate => report.up_to_date += 1,
+                DeltaBatch::Ops(ops) => {
+                    for delta in ops {
+                        match delta.op {
+                            DeltaOp::Upsert { member, attrs, joined_at, updated_at } => {
+                                link.mirror.apply_upsert(member, attrs, joined_at, updated_at);
+                            }
+                            DeltaOp::Touch { member, updated_at } => {
+                                link.mirror.apply_touch(member, updated_at);
+                            }
+                            DeltaOp::Remove { member } => link.mirror.apply_remove(member),
+                        }
+                        link.applied_seq = delta.seq;
+                        report.applied_ops += 1;
+                    }
+                }
+                DeltaBatch::Gap { .. } => {
+                    let (records, seq) = link.source.snapshot_with_seq();
+                    link.mirror.replace_all(records);
+                    link.applied_seq = seq;
+                    report.resyncs += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// TTL-evicts stale records from every member (mirrors included):
+    /// records a partitioned or silent source stopped refreshing age
+    /// out of federated query results just as they would from a
+    /// directly-pulled Collection. Returns `(label, evicted)` per
+    /// member that lost records.
+    pub fn evict_stale(
+        &self,
+        now: SimTime,
+        ttl: legion_core::SimDuration,
+    ) -> Vec<(String, Vec<Loid>)> {
+        let members = self.members.read();
+        let mut out = Vec::new();
+        for (label, c) in members.iter() {
+            let evicted = c.evict_stale(now, ttl);
+            if !evicted.is_empty() {
+                out.push((label.clone(), evicted));
+            }
+        }
+        out
     }
 
     /// Number of member Collections.
@@ -111,7 +248,11 @@ impl FederatedCollection {
 
 impl Default for FederatedCollection {
     fn default() -> Self {
-        FederatedCollection { members: RwLock::new(Vec::new()) }
+        FederatedCollection {
+            members: RwLock::new(Vec::new()),
+            push_links: RwLock::new(Vec::new()),
+            fabric: RwLock::new(None),
+        }
     }
 }
 
@@ -184,5 +325,53 @@ mod tests {
     fn bad_query_reported_once() {
         let f = federation();
         assert!(matches!(f.query("$x >"), Err(LegionError::BadQuery(_))));
+    }
+
+    #[test]
+    fn push_member_mirrors_incrementally() {
+        let source = Collection::new(7);
+        source.enable_deltas(64);
+        let c1 = source.join_with(
+            Loid::synthetic(LoidKind::Host, 1),
+            AttributeDb::new().with("host_os_name", "IRIX"),
+            SimTime::ZERO,
+        );
+        let f = FederatedCollection::new();
+        let mirror = f.add_push_member("remote.edu", Arc::clone(&source));
+        // Initial snapshot already present, link up to date.
+        assert_eq!(mirror.dump(), source.dump());
+        assert_eq!(f.push_sync(), PushSyncReport { up_to_date: 1, ..Default::default() });
+        // Incremental: one update ships one op, not a full pull.
+        source
+            .update(&c1, &AttributeDb::new().with("host_load", 0.4), SimTime::from_secs(5))
+            .unwrap();
+        let report = f.push_sync();
+        assert_eq!(report.applied_ops, 1);
+        assert_eq!(report.resyncs, 0);
+        assert_eq!(mirror.dump(), source.dump());
+        // Federated queries answer from the mirror.
+        assert_eq!(f.query("$host_load > 0.3").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn push_member_gap_forces_full_resync() {
+        let source = Collection::new(7);
+        source.enable_deltas(2); // tiny log: easy to overflow
+        let f = FederatedCollection::new();
+        let mirror = f.add_push_member("remote.edu", Arc::clone(&source));
+        // More changes than the log retains → the link is gapped.
+        for i in 0..10u64 {
+            source.join_with(
+                Loid::synthetic(LoidKind::Host, i),
+                AttributeDb::new().with("host_load", i as f64),
+                SimTime::from_secs(i),
+            );
+        }
+        let report = f.push_sync();
+        assert_eq!(report.resyncs, 1);
+        assert_eq!(report.applied_ops, 0);
+        assert_eq!(mirror.dump(), source.dump());
+        // Caught up: the next sweep is a no-op.
+        assert_eq!(f.push_sync(), PushSyncReport { up_to_date: 1, ..Default::default() });
     }
 }

@@ -6,8 +6,16 @@
 //! wall the resource-discovery literature (Nimrod/G, GridSim) warns
 //! about. These indexes make selective queries sublinear:
 //!
-//! * a per-attribute **string index** (sorted, so it serves both exact
-//!   equality and anchored-literal-prefix `match()` probes),
+//! * a per-attribute **string index** (sorted, so it serves exact
+//!   equality, anchored-literal-prefix `match()` probes, and
+//!   first-character class probes),
+//! * a per-attribute **trigram index** over the attribute's *distinct
+//!   values* (not its members), serving substring probes for patterns
+//!   that force a literal into every match: candidate values are found
+//!   by trigram intersection, verified with a real `contains`, then
+//!   expanded to members through the string index — so the probe is
+//!   exact, and its memory cost scales with value cardinality, not
+//!   record count,
 //! * a per-attribute **numeric index** (sorted over a total order on
 //!   `f64`, serving `<`, `<=`, `>`, `>=`, `==` ranges with the same
 //!   int→float coercion the evaluator uses),
@@ -15,12 +23,19 @@
 //!   `exists()`.
 //!
 //! Indexes are maintained incrementally on join/update/replace/leave/
-//! evict under the same lock as the record map, so they can never drift
-//! from the records. Every lookup returns a *superset-correct* member
-//! set for its predicate: the query engine re-evaluates the full query
-//! on each candidate, so a lookup may safely over-approximate (e.g. two
-//! huge `i64`s that collapse to one `f64` bucket) but must never miss a
-//! matching record.
+//! evict under the same lock as the record map (one such pair per
+//! shard), so they can never drift from the records. Lookups return
+//! **sorted member vectors** so conjunct candidate sets intersect by
+//! linear merge before any residual filter runs. Every lookup is
+//! *superset-correct* for its predicate; several (equality, ranges,
+//! presence, verified substring) are exact, which the planner tracks to
+//! skip residual re-evaluation entirely.
+//!
+//! Cardinality estimates take a `cap`: walking stops as soon as the cap
+//! is reached, and a range or prefix that provably covers the whole
+//! index answers from a maintained total in O(log n) without walking —
+//! so a non-selective predicate (`$host_load >= 0.0`) is routed to the
+//! scan path without touching a single bucket.
 
 use legion_core::{AttrValue, AttributeDb, Loid};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -60,15 +75,134 @@ impl Ord for NumKey {
     }
 }
 
+/// Trigram postings over an attribute's distinct string values.
+///
+/// Values are interned to dense ids when their first member appears and
+/// released when their last member leaves; each posting list maps a
+/// 3-byte window to the ids of values containing it.
+#[derive(Debug, Default)]
+struct TrigramIndex {
+    /// Live value → interned id.
+    ids: HashMap<String, u32>,
+    /// Interned id → value (candidate verification needs the text).
+    values: HashMap<u32, String>,
+    /// 3-byte window → ids of values containing it.
+    grams: HashMap<[u8; 3], BTreeSet<u32>>,
+    next_id: u32,
+}
+
+fn trigrams(value: &str) -> impl Iterator<Item = [u8; 3]> + '_ {
+    value.as_bytes().windows(3).map(|w| [w[0], w[1], w[2]])
+}
+
+impl TrigramIndex {
+    fn add_value(&mut self, value: &str) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.ids.insert(value.to_string(), id);
+        self.values.insert(id, value.to_string());
+        for g in trigrams(value) {
+            self.grams.entry(g).or_default().insert(id);
+        }
+    }
+
+    fn remove_value(&mut self, value: &str) {
+        let Some(id) = self.ids.remove(value) else { return };
+        self.values.remove(&id);
+        for g in trigrams(value) {
+            if let Some(set) = self.grams.get_mut(&g) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.grams.remove(&g);
+                }
+            }
+        }
+    }
+
+    /// Ids of values that contain `needle` — trigram intersection, then
+    /// verification against the actual value text (so the result is
+    /// exact, not a superset). `needle` must be at least 3 bytes.
+    fn candidate_values(&self, needle: &str) -> Vec<u32> {
+        let mut posting_sets: Vec<&BTreeSet<u32>> = Vec::new();
+        for g in trigrams(needle) {
+            match self.grams.get(&g) {
+                Some(set) => posting_sets.push(set),
+                None => return Vec::new(),
+            }
+        }
+        let Some(smallest) = posting_sets.iter().min_by_key(|s| s.len()) else {
+            return Vec::new();
+        };
+        smallest
+            .iter()
+            .copied()
+            .filter(|id| posting_sets.iter().all(|s| s.contains(id)))
+            .filter(|id| self.values[id].contains(needle))
+            .collect()
+    }
+}
+
+/// One attribute's string index: sorted value buckets plus trigram
+/// postings over the distinct values, plus the member total.
+#[derive(Debug, Default)]
+struct StringIndex {
+    by_val: BTreeMap<String, BTreeSet<Loid>>,
+    trigrams: TrigramIndex,
+    /// Members indexed under this attribute (sum of bucket sizes).
+    total: usize,
+}
+
+/// One attribute's numeric index: sorted value buckets plus the member
+/// total, so a full-covering range estimates in O(log n).
+#[derive(Debug, Default)]
+struct NumericIndex {
+    by_val: BTreeMap<NumKey, BTreeSet<Loid>>,
+    total: usize,
+}
+
 /// The per-attribute secondary indexes.
 #[derive(Debug, Default)]
 pub struct AttributeIndexes {
-    /// attr name → string value → members.
-    strings: HashMap<String, BTreeMap<String, BTreeSet<Loid>>>,
-    /// attr name → numeric value (coerced to `f64`) → members.
-    numbers: HashMap<String, BTreeMap<NumKey, BTreeSet<Loid>>>,
+    /// attr name → string index.
+    strings: HashMap<String, StringIndex>,
+    /// attr name → numeric index (values coerced to `f64`).
+    numbers: HashMap<String, NumericIndex>,
     /// attr name → members carrying the attribute (any type).
     presence: HashMap<String, BTreeSet<Loid>>,
+}
+
+/// Sorts a merged candidate list and drops duplicates (buckets of one
+/// attribute are disjoint, but unions of probes may overlap).
+fn sorted_dedup(mut v: Vec<Loid>) -> Vec<Loid> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Linear-merge intersection of two sorted member lists.
+pub fn intersect_sorted(a: &[Loid], b: &[Loid]) -> Vec<Loid> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Union of several sorted member lists, sorted and deduplicated.
+pub fn union_sorted(parts: Vec<Vec<Loid>>) -> Vec<Loid> {
+    let mut all: Vec<Loid> = parts.into_iter().flatten().collect();
+    all.sort_unstable();
+    all.dedup();
+    all
 }
 
 impl AttributeIndexes {
@@ -83,21 +217,21 @@ impl AttributeIndexes {
             self.presence.entry(name.to_string()).or_default().insert(member);
             match value {
                 AttrValue::Str(s) => {
-                    self.strings
-                        .entry(name.to_string())
-                        .or_default()
-                        .entry(s.clone())
-                        .or_default()
-                        .insert(member);
+                    let si = self.strings.entry(name.to_string()).or_default();
+                    let bucket = si.by_val.entry(s.clone()).or_default();
+                    if bucket.is_empty() {
+                        si.trigrams.add_value(s);
+                    }
+                    if bucket.insert(member) {
+                        si.total += 1;
+                    }
                 }
                 AttrValue::Int(_) | AttrValue::Float(_) => {
                     if let Some(key) = value.as_f64().and_then(NumKey::new) {
-                        self.numbers
-                            .entry(name.to_string())
-                            .or_default()
-                            .entry(key)
-                            .or_default()
-                            .insert(member);
+                        let ni = self.numbers.entry(name.to_string()).or_default();
+                        if ni.by_val.entry(key).or_default().insert(member) {
+                            ni.total += 1;
+                        }
                     }
                 }
                 // Bools and lists are only findable via `exists()`;
@@ -119,28 +253,33 @@ impl AttributeIndexes {
             }
             match value {
                 AttrValue::Str(s) => {
-                    if let Some(by_val) = self.strings.get_mut(name) {
-                        if let Some(set) = by_val.get_mut(s) {
-                            set.remove(&member);
-                            if set.is_empty() {
-                                by_val.remove(s);
+                    if let Some(si) = self.strings.get_mut(name) {
+                        if let Some(bucket) = si.by_val.get_mut(s) {
+                            if bucket.remove(&member) {
+                                si.total -= 1;
+                            }
+                            if bucket.is_empty() {
+                                si.by_val.remove(s);
+                                si.trigrams.remove_value(s);
                             }
                         }
-                        if by_val.is_empty() {
+                        if si.by_val.is_empty() {
                             self.strings.remove(name);
                         }
                     }
                 }
                 AttrValue::Int(_) | AttrValue::Float(_) => {
                     if let Some(key) = value.as_f64().and_then(NumKey::new) {
-                        if let Some(by_val) = self.numbers.get_mut(name) {
-                            if let Some(set) = by_val.get_mut(&key) {
-                                set.remove(&member);
-                                if set.is_empty() {
-                                    by_val.remove(&key);
+                        if let Some(ni) = self.numbers.get_mut(name) {
+                            if let Some(bucket) = ni.by_val.get_mut(&key) {
+                                if bucket.remove(&member) {
+                                    ni.total -= 1;
+                                }
+                                if bucket.is_empty() {
+                                    ni.by_val.remove(&key);
                                 }
                             }
-                            if by_val.is_empty() {
+                            if ni.by_val.is_empty() {
                                 self.numbers.remove(name);
                             }
                         }
@@ -151,89 +290,210 @@ impl AttributeIndexes {
         }
     }
 
-    /// Members whose `attr` is the string `value`.
-    pub fn lookup_str_eq(&self, attr: &str, value: &str) -> BTreeSet<Loid> {
+    /// Members whose `attr` is the string `value`, sorted.
+    pub fn lookup_str_eq(&self, attr: &str, value: &str) -> Vec<Loid> {
         self.strings
             .get(attr)
-            .and_then(|by_val| by_val.get(value))
-            .cloned()
+            .and_then(|si| si.by_val.get(value))
+            .map(|b| b.iter().copied().collect())
             .unwrap_or_default()
     }
 
-    /// Members whose `attr` is a string starting with `prefix`.
-    pub fn lookup_str_prefix(&self, attr: &str, prefix: &str) -> BTreeSet<Loid> {
-        let mut out = BTreeSet::new();
-        if let Some(by_val) = self.strings.get(attr) {
-            for (_, members) in by_val
+    /// Members whose `attr` is a string starting with `prefix`, sorted.
+    pub fn lookup_str_prefix(&self, attr: &str, prefix: &str) -> Vec<Loid> {
+        let mut out = Vec::new();
+        if let Some(si) = self.strings.get(attr) {
+            for (_, members) in si
+                .by_val
                 .range::<String, _>((Bound::Included(prefix.to_string()), Bound::Unbounded))
                 .take_while(|(value, _)| value.starts_with(prefix))
             {
                 out.extend(members.iter().copied());
             }
         }
-        out
+        sorted_dedup(out)
     }
 
-    /// Members whose `attr` is numeric and inside `(lo, hi)`.
-    pub fn lookup_num_range(
-        &self,
-        attr: &str,
-        lo: Bound<f64>,
-        hi: Bound<f64>,
-    ) -> BTreeSet<Loid> {
-        let to_key = |b: Bound<f64>| match b {
-            Bound::Included(v) => NumKey::new(v).map(Bound::Included),
-            Bound::Excluded(v) => NumKey::new(v).map(Bound::Excluded),
-            Bound::Unbounded => Some(Bound::Unbounded),
-        };
-        let (Some(lo), Some(hi)) = (to_key(lo), to_key(hi)) else {
+    /// Members whose `attr` is a string containing `needle`, sorted.
+    ///
+    /// Needles of 3+ bytes go through the trigram postings; shorter
+    /// needles scan the distinct values (still sublinear in members
+    /// whenever values repeat). Both paths verify with a real
+    /// `contains`, so the result is exact, not a superset.
+    pub fn lookup_str_contains(&self, attr: &str, needle: &str) -> Vec<Loid> {
+        let Some(si) = self.strings.get(attr) else { return Vec::new() };
+        let mut out = Vec::new();
+        if needle.len() >= 3 {
+            for id in si.trigrams.candidate_values(needle) {
+                if let Some(members) = si.by_val.get(&si.trigrams.values[&id]) {
+                    out.extend(members.iter().copied());
+                }
+            }
+        } else {
+            for (value, members) in si.by_val.iter() {
+                if value.contains(needle) {
+                    out.extend(members.iter().copied());
+                }
+            }
+        }
+        sorted_dedup(out)
+    }
+
+    /// Members whose `attr` is a string whose first character falls in
+    /// any of `ranges` (inclusive), sorted.
+    pub fn lookup_str_first_ranges(&self, attr: &str, ranges: &[(char, char)]) -> Vec<Loid> {
+        let Some(si) = self.strings.get(attr) else { return Vec::new() };
+        let mut out = Vec::new();
+        for &(lo, hi) in ranges {
+            if lo > hi {
+                continue;
+            }
+            for (value, members) in si
+                .by_val
+                .range::<String, _>((Bound::Included(lo.to_string()), Bound::Unbounded))
+            {
+                match value.chars().next() {
+                    Some(c) if c <= hi => out.extend(members.iter().copied()),
+                    _ => break,
+                }
+            }
+        }
+        sorted_dedup(out)
+    }
+
+    /// Members whose `attr` is numeric and inside `(lo, hi)`, sorted.
+    pub fn lookup_num_range(&self, attr: &str, lo: Bound<f64>, hi: Bound<f64>) -> Vec<Loid> {
+        let (Some(lo), Some(hi)) = (to_key_bound(lo), to_key_bound(hi)) else {
             // A NaN bound can never be satisfied.
-            return BTreeSet::new();
+            return Vec::new();
         };
-        let mut out = BTreeSet::new();
-        if let Some(by_val) = self.numbers.get(attr) {
-            for (_, members) in by_val.range((lo, hi)) {
+        let mut out = Vec::new();
+        if let Some(ni) = self.numbers.get(attr) {
+            for (_, members) in ni.by_val.range((lo, hi)) {
                 out.extend(members.iter().copied());
             }
         }
-        out
+        sorted_dedup(out)
     }
 
-    /// Members carrying `attr` at all.
-    pub fn lookup_exists(&self, attr: &str) -> BTreeSet<Loid> {
-        self.presence.get(attr).cloned().unwrap_or_default()
+    /// Members carrying `attr` at all, sorted.
+    pub fn lookup_exists(&self, attr: &str) -> Vec<Loid> {
+        self.presence.get(attr).map(|s| s.iter().copied().collect()).unwrap_or_default()
     }
 
     /// Hit count of [`Self::lookup_str_eq`] without materializing it.
     pub fn count_str_eq(&self, attr: &str, value: &str) -> usize {
-        self.strings.get(attr).and_then(|by_val| by_val.get(value)).map_or(0, BTreeSet::len)
+        self.strings.get(attr).and_then(|si| si.by_val.get(value)).map_or(0, BTreeSet::len)
     }
 
-    /// Hit count of [`Self::lookup_str_prefix`] without materializing
-    /// it (walks matching buckets, but allocates nothing).
-    pub fn count_str_prefix(&self, attr: &str, prefix: &str) -> usize {
-        self.strings.get(attr).map_or(0, |by_val| {
-            by_val
+    /// Hit count of [`Self::lookup_str_prefix`], saturating at `cap`.
+    ///
+    /// The empty prefix covers the whole index and answers from the
+    /// maintained total without walking a single bucket.
+    pub fn count_str_prefix(&self, attr: &str, prefix: &str, cap: usize) -> usize {
+        self.strings.get(attr).map_or(0, |si| {
+            if prefix.is_empty() {
+                return si.total.min(cap);
+            }
+            let mut sum = 0usize;
+            for (_, members) in si
+                .by_val
                 .range::<String, _>((Bound::Included(prefix.to_string()), Bound::Unbounded))
                 .take_while(|(value, _)| value.starts_with(prefix))
-                .map(|(_, members)| members.len())
-                .sum()
+            {
+                sum += members.len();
+                if sum >= cap {
+                    return cap;
+                }
+            }
+            sum
         })
     }
 
-    /// Hit count of [`Self::lookup_num_range`] without materializing it.
-    pub fn count_num_range(&self, attr: &str, lo: Bound<f64>, hi: Bound<f64>) -> usize {
-        let to_key = |b: Bound<f64>| match b {
-            Bound::Included(v) => NumKey::new(v).map(Bound::Included),
-            Bound::Excluded(v) => NumKey::new(v).map(Bound::Excluded),
-            Bound::Unbounded => Some(Bound::Unbounded),
-        };
-        let (Some(lo), Some(hi)) = (to_key(lo), to_key(hi)) else {
+    /// Hit count of [`Self::lookup_str_contains`], saturating at `cap`.
+    ///
+    /// Short (sub-trigram) needles would require a distinct-value scan
+    /// just to estimate, so they pessimistically report the attribute
+    /// total — routing the plan to a scan unless some other conjunct is
+    /// selective (the lookup itself still answers exactly if executed).
+    pub fn count_str_contains(&self, attr: &str, needle: &str, cap: usize) -> usize {
+        let Some(si) = self.strings.get(attr) else { return 0 };
+        if needle.len() < 3 {
+            return si.total.min(cap);
+        }
+        let mut sum = 0usize;
+        for id in si.trigrams.candidate_values(needle) {
+            sum += si.by_val.get(&si.trigrams.values[&id]).map_or(0, BTreeSet::len);
+            if sum >= cap {
+                return cap;
+            }
+        }
+        sum
+    }
+
+    /// Hit count of [`Self::lookup_str_first_ranges`], saturating at
+    /// `cap`.
+    pub fn count_str_first_ranges(&self, attr: &str, ranges: &[(char, char)], cap: usize) -> usize {
+        let Some(si) = self.strings.get(attr) else { return 0 };
+        let mut sum = 0usize;
+        for &(lo, hi) in ranges {
+            if lo > hi {
+                continue;
+            }
+            for (value, members) in si
+                .by_val
+                .range::<String, _>((Bound::Included(lo.to_string()), Bound::Unbounded))
+            {
+                match value.chars().next() {
+                    Some(c) if c <= hi => {
+                        sum += members.len();
+                        if sum >= cap {
+                            return cap;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+        sum
+    }
+
+    /// Hit count of [`Self::lookup_num_range`], saturating at `cap`.
+    ///
+    /// A range that provably covers the attribute's whole indexed span
+    /// (both bounds at or beyond the first/last key) answers from the
+    /// maintained total in O(log n) without walking — the fix for the
+    /// non-selective penalty: `$host_load >= 0.0` never walks buckets.
+    pub fn count_num_range(&self, attr: &str, lo: Bound<f64>, hi: Bound<f64>, cap: usize) -> usize {
+        let (Some(lo), Some(hi)) = (to_key_bound(lo), to_key_bound(hi)) else {
             return 0;
         };
-        self.numbers
-            .get(attr)
-            .map_or(0, |by_val| by_val.range((lo, hi)).map(|(_, members)| members.len()).sum())
+        let Some(ni) = self.numbers.get(attr) else { return 0 };
+        if let (Some((first, _)), Some((last, _))) =
+            (ni.by_val.first_key_value(), ni.by_val.last_key_value())
+        {
+            let covers_lo = match lo {
+                Bound::Unbounded => true,
+                Bound::Included(k) => k <= *first,
+                Bound::Excluded(k) => k < *first,
+            };
+            let covers_hi = match hi {
+                Bound::Unbounded => true,
+                Bound::Included(k) => *last <= k,
+                Bound::Excluded(k) => *last < k,
+            };
+            if covers_lo && covers_hi {
+                return ni.total.min(cap);
+            }
+        }
+        let mut sum = 0usize;
+        for (_, members) in ni.by_val.range((lo, hi)) {
+            sum += members.len();
+            if sum >= cap {
+                return cap;
+            }
+        }
+        sum
     }
 
     /// Hit count of [`Self::lookup_exists`] without materializing it.
@@ -242,13 +502,29 @@ impl AttributeIndexes {
     }
 }
 
+fn to_key_bound(b: Bound<f64>) -> Option<Bound<NumKey>> {
+    match b {
+        Bound::Included(v) => NumKey::new(v).map(Bound::Included),
+        Bound::Excluded(v) => NumKey::new(v).map(Bound::Excluded),
+        Bound::Unbounded => Some(Bound::Unbounded),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use legion_core::LoidKind;
 
+    const CAP: usize = usize::MAX;
+
     fn l(seq: u64) -> Loid {
         Loid::synthetic(LoidKind::Host, seq)
+    }
+
+    fn ls(seqs: &[u64]) -> Vec<Loid> {
+        let mut v: Vec<Loid> = seqs.iter().map(|&s| l(s)).collect();
+        v.sort_unstable();
+        v
     }
 
     fn sample() -> AttributeIndexes {
@@ -265,17 +541,66 @@ mod tests {
     #[test]
     fn string_equality_hits_exact_value() {
         let idx = sample();
-        assert_eq!(idx.lookup_str_eq("os", "IRIX"), BTreeSet::from([l(1)]));
-        assert_eq!(idx.lookup_str_eq("os", "HPUX"), BTreeSet::new());
-        assert_eq!(idx.lookup_str_eq("nope", "IRIX"), BTreeSet::new());
+        assert_eq!(idx.lookup_str_eq("os", "IRIX"), ls(&[1]));
+        assert_eq!(idx.lookup_str_eq("os", "HPUX"), Vec::<Loid>::new());
+        assert_eq!(idx.lookup_str_eq("nope", "IRIX"), Vec::<Loid>::new());
     }
 
     #[test]
     fn prefix_scans_sorted_values() {
         let idx = sample();
-        assert_eq!(idx.lookup_str_prefix("os", "IRIX"), BTreeSet::from([l(1), l(3)]));
-        assert_eq!(idx.lookup_str_prefix("os", ""), BTreeSet::from([l(1), l(2), l(3)]));
-        assert_eq!(idx.lookup_str_prefix("os", "Z"), BTreeSet::new());
+        assert_eq!(idx.lookup_str_prefix("os", "IRIX"), ls(&[1, 3]));
+        assert_eq!(idx.lookup_str_prefix("os", ""), ls(&[1, 2, 3]));
+        assert_eq!(idx.lookup_str_prefix("os", "Z"), Vec::<Loid>::new());
+    }
+
+    #[test]
+    fn contains_probes_are_exact() {
+        let idx = sample();
+        // Trigram path (needle >= 3 bytes).
+        assert_eq!(idx.lookup_str_contains("os", "RIX"), ls(&[1, 3]));
+        assert_eq!(idx.lookup_str_contains("os", "IX6"), ls(&[3]));
+        assert_eq!(idx.lookup_str_contains("os", "inux"), ls(&[2]));
+        assert_eq!(idx.lookup_str_contains("os", "XIR"), Vec::<Loid>::new());
+        // Short-needle path scans distinct values.
+        assert_eq!(idx.lookup_str_contains("os", "X"), ls(&[1, 3]));
+        assert_eq!(idx.lookup_str_contains("os", ""), ls(&[1, 2, 3]));
+        assert_eq!(idx.lookup_str_contains("nope", "RIX"), Vec::<Loid>::new());
+    }
+
+    #[test]
+    fn trigram_postings_follow_value_churn() {
+        let mut idx = sample();
+        // Second member of an existing value: no new interning, both hit.
+        idx.insert(l(4), &AttributeDb::new().with("os", "IRIX"));
+        assert_eq!(idx.lookup_str_contains("os", "IRIX"), ls(&[1, 3, 4]));
+        // Remove one of the two; the value stays alive.
+        idx.remove(l(1), &AttributeDb::new().with("os", "IRIX"));
+        assert_eq!(idx.lookup_str_contains("os", "IRIX"), ls(&[3, 4]));
+        // Remove the last members; the value (and its grams) disappear.
+        idx.remove(l(4), &AttributeDb::new().with("os", "IRIX"));
+        idx.remove(l(3), &AttributeDb::new().with("os", "IRIX64").with("mem", 512i64));
+        assert_eq!(idx.lookup_str_contains("os", "IRIX"), Vec::<Loid>::new());
+        assert_eq!(idx.lookup_str_contains("os", "inux"), ls(&[2]));
+    }
+
+    #[test]
+    fn first_char_ranges_narrow_by_class() {
+        let idx = sample();
+        assert_eq!(idx.lookup_str_first_ranges("os", &[('A', 'J')]), ls(&[1, 3]));
+        assert_eq!(idx.lookup_str_first_ranges("os", &[('L', 'L')]), ls(&[2]));
+        assert_eq!(
+            idx.lookup_str_first_ranges("os", &[('A', 'J'), ('K', 'M')]),
+            ls(&[1, 2, 3])
+        );
+        // Overlapping ranges do not duplicate members.
+        assert_eq!(
+            idx.lookup_str_first_ranges("os", &[('A', 'Z'), ('I', 'J')]),
+            ls(&[1, 2, 3])
+        );
+        assert_eq!(idx.lookup_str_first_ranges("os", &[('a', 'z')]), Vec::<Loid>::new());
+        assert_eq!(idx.count_str_first_ranges("os", &[('A', 'J')], CAP), 2);
+        assert_eq!(idx.count_str_first_ranges("os", &[('A', 'J')], 1), 1);
     }
 
     #[test]
@@ -284,24 +609,24 @@ mod tests {
         // Int attr found through a float range.
         assert_eq!(
             idx.lookup_num_range("mem", Bound::Included(511.5), Bound::Unbounded),
-            BTreeSet::from([l(3)])
+            ls(&[3])
         );
         assert_eq!(
             idx.lookup_num_range("load", Bound::Unbounded, Bound::Excluded(0.9)),
-            BTreeSet::from([l(1)])
+            ls(&[1])
         );
         assert_eq!(
             idx.lookup_num_range("load", Bound::Included(0.9), Bound::Included(0.9)),
-            BTreeSet::from([l(2)])
+            ls(&[2])
         );
     }
 
     #[test]
     fn presence_covers_every_type() {
         let idx = sample();
-        assert_eq!(idx.lookup_exists("up"), BTreeSet::from([l(1)]));
-        assert_eq!(idx.lookup_exists("os"), BTreeSet::from([l(1), l(2), l(3)]));
-        assert_eq!(idx.lookup_exists("gpu"), BTreeSet::new());
+        assert_eq!(idx.lookup_exists("up"), ls(&[1]));
+        assert_eq!(idx.lookup_exists("os"), ls(&[1, 2, 3]));
+        assert_eq!(idx.lookup_exists("gpu"), Vec::<Loid>::new());
     }
 
     #[test]
@@ -309,12 +634,47 @@ mod tests {
         let mut idx = sample();
         let attrs = AttributeDb::new().with("os", "IRIX").with("load", 0.2).with("up", true);
         idx.remove(l(1), &attrs);
-        assert_eq!(idx.lookup_str_eq("os", "IRIX"), BTreeSet::new());
-        assert_eq!(idx.lookup_exists("up"), BTreeSet::new());
+        assert_eq!(idx.lookup_str_eq("os", "IRIX"), Vec::<Loid>::new());
+        assert_eq!(idx.lookup_exists("up"), Vec::<Loid>::new());
         assert_eq!(
             idx.lookup_num_range("load", Bound::Unbounded, Bound::Unbounded),
-            BTreeSet::from([l(2)])
+            ls(&[2])
         );
+    }
+
+    #[test]
+    fn counts_saturate_at_cap_and_totals_short_circuit() {
+        let mut idx = AttributeIndexes::new();
+        for i in 0..100u64 {
+            idx.insert(
+                l(i),
+                &AttributeDb::new().with("load", i as f64).with("os", format!("os{}", i % 10)),
+            );
+        }
+        // Full-covering ranges answer from the total (min'd with cap).
+        assert_eq!(idx.count_num_range("load", Bound::Unbounded, Bound::Unbounded, CAP), 100);
+        assert_eq!(
+            idx.count_num_range("load", Bound::Included(0.0), Bound::Included(99.0), CAP),
+            100
+        );
+        assert_eq!(idx.count_num_range("load", Bound::Included(0.0), Bound::Unbounded, 7), 7);
+        // Partial ranges walk but stop at the cap.
+        assert_eq!(
+            idx.count_num_range("load", Bound::Included(10.0), Bound::Excluded(20.0), CAP),
+            10
+        );
+        assert_eq!(
+            idx.count_num_range("load", Bound::Included(10.0), Bound::Excluded(90.0), 5),
+            5
+        );
+        // Prefix counts: empty prefix answers from the total.
+        assert_eq!(idx.count_str_prefix("os", "", CAP), 100);
+        assert_eq!(idx.count_str_prefix("os", "", 9), 9);
+        assert_eq!(idx.count_str_prefix("os", "os1", CAP), 10);
+        assert_eq!(idx.count_str_prefix("os", "os", 25), 25);
+        // Contains counts: short needles report the total.
+        assert_eq!(idx.count_str_contains("os", "x", CAP), 100);
+        assert_eq!(idx.count_str_contains("os", "os1", 4), 4);
     }
 
     #[test]
@@ -323,7 +683,7 @@ mod tests {
         idx.insert(l(1), &AttributeDb::new().with("x", -0.0));
         assert_eq!(
             idx.lookup_num_range("x", Bound::Included(0.0), Bound::Included(0.0)),
-            BTreeSet::from([l(1)])
+            ls(&[1])
         );
     }
 
@@ -333,9 +693,19 @@ mod tests {
         idx.insert(l(1), &AttributeDb::new().with("x", f64::NAN));
         assert_eq!(
             idx.lookup_num_range("x", Bound::Unbounded, Bound::Unbounded),
-            BTreeSet::new()
+            Vec::<Loid>::new()
         );
         // ...but presence still sees it.
-        assert_eq!(idx.lookup_exists("x"), BTreeSet::from([l(1)]));
+        assert_eq!(idx.lookup_exists("x"), ls(&[1]));
+    }
+
+    #[test]
+    fn sorted_merge_helpers() {
+        let a = ls(&[1, 2, 3, 5]);
+        let b = ls(&[2, 3, 4]);
+        assert_eq!(intersect_sorted(&a, &b), ls(&[2, 3]));
+        assert_eq!(intersect_sorted(&a, &[]), Vec::<Loid>::new());
+        assert_eq!(union_sorted(vec![a.clone(), b.clone()]), ls(&[1, 2, 3, 4, 5]));
+        assert_eq!(union_sorted(vec![]), Vec::<Loid>::new());
     }
 }

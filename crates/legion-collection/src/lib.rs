@@ -20,14 +20,21 @@
 //!   Collection(s)": one Collection per administrative domain with
 //!   fan-out queries tagged by origin.
 //! * [`index`] and [`planner`] form the indexed query engine: secondary
-//!   per-attribute indexes (string, numeric, presence) maintained
-//!   incrementally on every membership change, and a planner that
-//!   extracts indexable conjuncts (string equality, numeric ranges,
-//!   `exists()`, anchored-literal-prefix `match()`) so selective
-//!   queries touch a candidate set instead of every record. Residual
-//!   predicates fall back to a full scan; either path re-evaluates the
-//!   complete query per candidate, so results are always identical to
-//!   the naive scan.
+//!   per-attribute indexes (string, trigram, numeric, presence)
+//!   maintained incrementally on every membership change, and a planner
+//!   that extracts indexable conjuncts (string equality, numeric
+//!   ranges, `exists()`, and regex `match()` via prefix, trigram, and
+//!   leading-char-class narrowing) so selective queries intersect
+//!   sorted candidate lists instead of touching every record. Plans
+//!   that are provably *exact* skip residual re-evaluation entirely;
+//!   inexact plans re-evaluate the complete query per candidate, so
+//!   results are always identical to the naive scan. Records and
+//!   indexes are sharded by member hash across independently-locked
+//!   shards (see [`collection`]).
+//! * [`delta`] is the push-federation substrate: an opt-in bounded
+//!   change log of sequence-numbered upsert/touch/remove deltas that
+//!   mirrors apply incrementally, with gap detection forcing a full
+//!   resync when a mirror falls behind the log's capacity.
 //! * [`inject`] implements the planned *function injection* extension —
 //!   "the ability for users to install code to dynamically compute new
 //!   description information" — including a Network-Weather-Service-style
@@ -35,6 +42,7 @@
 
 pub mod collection;
 pub mod daemon;
+pub mod delta;
 pub mod federation;
 pub mod index;
 pub mod inject;
@@ -42,11 +50,12 @@ pub mod planner;
 pub mod query;
 pub mod record;
 
-pub use collection::{Collection, MemberCredential};
+pub use collection::{Collection, MemberCredential, DEFAULT_SHARDS};
 pub use daemon::DataCollectionDaemon;
-pub use federation::{FederatedCollection, FederatedRecord};
+pub use delta::{ChangeLog, Delta, DeltaBatch, DeltaOp};
+pub use federation::{FederatedCollection, FederatedRecord, PushSyncReport};
 pub use index::AttributeIndexes;
 pub use inject::{DerivedAttribute, LoadForecaster};
-pub use planner::{IndexPredicate, Plan};
+pub use planner::{IndexPredicate, Plan, PlanNode};
 pub use query::{parse_query, Query};
 pub use record::CollectionRecord;

@@ -8,29 +8,40 @@
 //! * numeric range: `$attr < n`, `<=`, `>`, `>=`, `==` (either order;
 //!   the flipped order mirrors the operator),
 //! * `exists($attr)`,
-//! * `match()` whose pattern is a *literal* with an anchored literal
-//!   prefix: `match("^IRIX", $attr)` becomes a prefix probe, and a fully
-//!   anchored literal `match("^IRIX$", $attr)` an equality probe.
+//! * `match()` whose pattern is a *literal*, planned from the hints
+//!   [`legion_regex::analyze`] derives from its AST: a fully anchored
+//!   literal (`^IRIX$`) becomes an equality probe, an anchored prefix
+//!   (`^5\.`) a prefix probe, a mandatory substring (`RIX`, `.*nux.*`)
+//!   a trigram-index probe, and a leading character class (`^[A-Z]...`)
+//!   a first-character range probe.
 //!
-//! Everything else — negation, `contains()`, unanchored or
-//! attribute-sourced patterns, string ordering, `!=`, comparisons
-//! between two attributes — is *residual*: the plan it produces is
-//! `None` and the engine falls back to a full scan, or, inside an
-//! `and`, the indexable side narrows the candidate set and the residual
-//! side is checked by re-evaluating the **full query** on each
-//! candidate. That re-evaluation is the safety net that makes the
-//! planner's only obligation *superset correctness*: a plan may return
-//! candidates that do not match, never miss ones that do.
+//! Everything else — negation, `contains()`, attribute-sourced
+//! patterns, alternation-topped patterns, string ordering, `!=`,
+//! comparisons between two attributes — is *residual*: the plan it
+//! produces is `None` and the engine falls back to a full scan, or,
+//! inside an `and`, the indexable side narrows the candidate set.
+//!
+//! Every plan is *superset-correct*: it may return candidates that do
+//! not match, never miss ones that do. On top of that each plan tracks
+//! **exactness** — whether its candidate set provably *equals* the
+//! query's satisfying set. Equality/range/presence probes are exact
+//! (the index applies the same type coercions the evaluator does), and
+//! prefix/substring probes are exact when the pattern hints say so
+//! (`^lit`, `^lit$`, bare `lit`); an `and` that drops a residual side
+//! or a first-character probe is not. The engine skips the residual
+//! re-evaluation entirely for exact plans — candidate sets intersect by
+//! sorted-vector merge and the hits are returned as zero-copy `Arc`
+//! clones without running the regex VM or the comparator once.
 //!
 //! Attributes produced by injected functions
 //! ([`DerivedAttribute`](crate::inject::DerivedAttribute)) are never
 //! indexable — their values exist only in query-time views — so any
 //! conjunct touching a derived name is residual.
 
-use crate::index::AttributeIndexes;
+use crate::index::{intersect_sorted, union_sorted, AttributeIndexes};
 use crate::query::{CmpOp, MatchArg, Operand, QueryExpr};
 use legion_core::{AttrValue, Loid};
-use std::collections::BTreeSet;
+use legion_regex::MatchHints;
 use std::ops::Bound;
 
 /// One index probe.
@@ -50,6 +61,22 @@ pub enum IndexPredicate {
         /// The anchored literal prefix.
         prefix: String,
     },
+    /// `match()` whose pattern forces `needle` into every match —
+    /// served by the trigram index over distinct values.
+    StrContains {
+        /// The indexed attribute.
+        attr: String,
+        /// The mandatory substring.
+        needle: String,
+    },
+    /// `match("^[ranges]...", $attr)` — first character pinned to a
+    /// set of inclusive ranges.
+    StrFirstRanges {
+        /// The indexed attribute.
+        attr: String,
+        /// The inclusive first-character ranges.
+        ranges: Vec<(char, char)>,
+    },
     /// `$attr` within a numeric range.
     NumRange {
         /// The indexed attribute.
@@ -66,9 +93,21 @@ pub enum IndexPredicate {
     },
 }
 
-/// An executable index plan: probes combined by set algebra.
+/// An executable index plan: probes combined by set algebra, tagged
+/// with whether the candidate set exactly equals the satisfying set.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Plan {
+pub struct Plan {
+    /// The probe tree.
+    pub node: PlanNode,
+    /// True when executing the plan yields *exactly* the records
+    /// satisfying the whole expression it was planned from — letting
+    /// the engine skip residual re-evaluation.
+    pub exact: bool,
+}
+
+/// A node in the probe tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
     /// A single index probe.
     Lookup(IndexPredicate),
     /// Intersection of sub-plans (an `and` of indexable conjuncts).
@@ -78,86 +117,128 @@ pub enum Plan {
 }
 
 impl Plan {
-    /// Runs the plan against the indexes, yielding the candidate set.
-    pub fn execute(&self, idx: &AttributeIndexes) -> BTreeSet<Loid> {
-        match self {
-            Plan::Lookup(p) => match p {
+    fn lookup(pred: IndexPredicate, exact: bool) -> Self {
+        Plan { node: PlanNode::Lookup(pred), exact }
+    }
+
+    /// Runs the plan against the indexes, yielding the sorted candidate
+    /// member list.
+    pub fn execute(&self, idx: &AttributeIndexes) -> Vec<Loid> {
+        match &self.node {
+            PlanNode::Lookup(p) => match p {
                 IndexPredicate::StrEq { attr, value } => idx.lookup_str_eq(attr, value),
                 IndexPredicate::StrPrefix { attr, prefix } => {
                     idx.lookup_str_prefix(attr, prefix)
+                }
+                IndexPredicate::StrContains { attr, needle } => {
+                    idx.lookup_str_contains(attr, needle)
+                }
+                IndexPredicate::StrFirstRanges { attr, ranges } => {
+                    idx.lookup_str_first_ranges(attr, ranges)
                 }
                 IndexPredicate::NumRange { attr, lo, hi } => {
                     idx.lookup_num_range(attr, *lo, *hi)
                 }
                 IndexPredicate::Exists { attr } => idx.lookup_exists(attr),
             },
-            Plan::Intersect(parts) => {
+            PlanNode::Intersect(parts) => {
                 let mut sets = parts.iter().map(|p| p.execute(idx));
-                let Some(mut acc) = sets.next() else { return BTreeSet::new() };
+                let Some(mut acc) = sets.next() else { return Vec::new() };
                 for s in sets {
-                    acc.retain(|m| s.contains(m));
+                    acc = intersect_sorted(&acc, &s);
                     if acc.is_empty() {
                         break;
                     }
                 }
                 acc
             }
-            Plan::Union(parts) => {
-                let mut acc = BTreeSet::new();
-                for p in parts {
-                    acc.extend(p.execute(idx));
-                }
-                acc
+            PlanNode::Union(parts) => {
+                union_sorted(parts.iter().map(|p| p.execute(idx)).collect())
             }
         }
     }
 
     /// Upper bound on the candidate count [`Self::execute`] would
-    /// return, computed without materializing any set — just bucket
-    /// sizes. The engine uses this to skip the index path when a plan
-    /// is not selective (an indexable predicate matching most records
-    /// costs more through set algebra than a straight scan).
-    pub fn estimate(&self, idx: &AttributeIndexes) -> usize {
-        match self {
-            Plan::Lookup(p) => match p {
-                IndexPredicate::StrEq { attr, value } => idx.count_str_eq(attr, value),
-                IndexPredicate::StrPrefix { attr, prefix } => idx.count_str_prefix(attr, prefix),
-                IndexPredicate::NumRange { attr, lo, hi } => idx.count_num_range(attr, *lo, *hi),
-                IndexPredicate::Exists { attr } => idx.count_exists(attr),
+    /// return, saturating at `cap` — the estimate never walks more
+    /// index buckets than it takes to reach the cap, and provably
+    /// unselective probes (full-covering ranges, empty prefixes)
+    /// answer from maintained totals without walking at all. The
+    /// engine uses this to route non-selective plans straight to the
+    /// scan path.
+    pub fn estimate(&self, idx: &AttributeIndexes, cap: usize) -> usize {
+        match &self.node {
+            PlanNode::Lookup(p) => match p {
+                IndexPredicate::StrEq { attr, value } => idx.count_str_eq(attr, value).min(cap),
+                IndexPredicate::StrPrefix { attr, prefix } => {
+                    idx.count_str_prefix(attr, prefix, cap)
+                }
+                IndexPredicate::StrContains { attr, needle } => {
+                    idx.count_str_contains(attr, needle, cap)
+                }
+                IndexPredicate::StrFirstRanges { attr, ranges } => {
+                    idx.count_str_first_ranges(attr, ranges, cap)
+                }
+                IndexPredicate::NumRange { attr, lo, hi } => {
+                    idx.count_num_range(attr, *lo, *hi, cap)
+                }
+                IndexPredicate::Exists { attr } => idx.count_exists(attr).min(cap),
             },
             // An intersection can hit at most its smallest part.
-            Plan::Intersect(parts) => {
-                parts.iter().map(|p| p.estimate(idx)).min().unwrap_or(0)
+            PlanNode::Intersect(parts) => {
+                parts.iter().map(|p| p.estimate(idx, cap)).min().unwrap_or(0)
             }
-            Plan::Union(parts) => {
-                parts.iter().map(|p| p.estimate(idx)).fold(0usize, usize::saturating_add)
-            }
+            PlanNode::Union(parts) => parts
+                .iter()
+                .map(|p| p.estimate(idx, cap))
+                .fold(0usize, usize::saturating_add)
+                .min(cap),
         }
     }
 }
 
 /// Plans `expr` against the indexes. `is_derived` reports whether an
 /// attribute name is produced by an injected function (and therefore
-/// invisible to the stored-record indexes). Returns `None` when no
-/// index can narrow the query — the caller must run a full scan.
-pub fn plan(expr: &QueryExpr, is_derived: &dyn Fn(&str) -> bool) -> Option<Plan> {
+/// invisible to the stored-record indexes); `hints_for` supplies the
+/// regex hints of a literal `match()` pattern (compiled queries cache
+/// them). Returns `None` when no index can narrow the query — the
+/// caller must run a full scan.
+pub fn plan(
+    expr: &QueryExpr,
+    is_derived: &dyn Fn(&str) -> bool,
+    hints_for: &dyn Fn(&str) -> Option<MatchHints>,
+) -> Option<Plan> {
     match expr {
-        QueryExpr::And(a, b) => match (plan(a, is_derived), plan(b, is_derived)) {
-            // Either side alone is a superset of the conjunction.
-            (Some(pa), Some(pb)) => Some(Plan::Intersect(vec![pa, pb])),
-            (Some(p), None) | (None, Some(p)) => Some(p),
-            (None, None) => None,
-        },
+        QueryExpr::And(a, b) => {
+            match (plan(a, is_derived, hints_for), plan(b, is_derived, hints_for)) {
+                // Both sides plannable: candidates intersect, and the
+                // conjunction is exact iff both sides are.
+                (Some(pa), Some(pb)) => {
+                    let exact = pa.exact && pb.exact;
+                    Some(Plan { node: PlanNode::Intersect(vec![pa, pb]), exact })
+                }
+                // Either side alone is a superset of the conjunction —
+                // but dropping the other side forfeits exactness.
+                (Some(p), None) | (None, Some(p)) => {
+                    Some(Plan { exact: false, ..p })
+                }
+                (None, None) => None,
+            }
+        }
         // An `or` is only narrowable when *both* arms are.
-        QueryExpr::Or(a, b) => match (plan(a, is_derived), plan(b, is_derived)) {
-            (Some(pa), Some(pb)) => Some(Plan::Union(vec![pa, pb])),
-            _ => None,
-        },
+        QueryExpr::Or(a, b) => {
+            match (plan(a, is_derived, hints_for), plan(b, is_derived, hints_for)) {
+                (Some(pa), Some(pb)) => {
+                    let exact = pa.exact && pb.exact;
+                    Some(Plan { node: PlanNode::Union(vec![pa, pb]), exact })
+                }
+                _ => None,
+            }
+        }
         QueryExpr::Cmp { lhs, op, rhs } => plan_cmp(lhs, *op, rhs, is_derived),
         QueryExpr::Exists(attr) if !is_derived(attr) => {
-            Some(Plan::Lookup(IndexPredicate::Exists { attr: attr.clone() }))
+            Some(Plan::lookup(IndexPredicate::Exists { attr: attr.clone() }, true))
         }
-        QueryExpr::Match { a, b } => plan_match(a, b, is_derived),
+        QueryExpr::Match { a, b } => plan_match(a, b, is_derived, hints_for),
         // Negation, contains(), bool constants: residual.
         _ => None,
     }
@@ -180,10 +261,13 @@ fn plan_cmp(
         return None;
     }
     match (op, lit) {
-        (CmpOp::Eq, AttrValue::Str(s)) => Some(Plan::Lookup(IndexPredicate::StrEq {
-            attr: attr.clone(),
-            value: s.clone(),
-        })),
+        // Exact: only a `Str` attribute can compare equal to a string
+        // literal (the evaluator's semantic_cmp refuses cross-type
+        // string comparisons), and the index holds every Str value.
+        (CmpOp::Eq, AttrValue::Str(s)) => Some(Plan::lookup(
+            IndexPredicate::StrEq { attr: attr.clone(), value: s.clone() },
+            true,
+        )),
         (_, AttrValue::Int(_) | AttrValue::Float(_)) => {
             let v = lit.as_f64().expect("numeric literal");
             let (lo, hi) = match op {
@@ -196,14 +280,25 @@ fn plan_cmp(
                 // than materializing the complement.
                 CmpOp::Ne => return None,
             };
-            Some(Plan::Lookup(IndexPredicate::NumRange { attr: attr.clone(), lo, hi }))
+            // Exact: the index coerces Int/Float with the same `as_f64`
+            // the evaluator uses, Bool/Str/List never compare to
+            // numbers, and NaN (never indexed) never satisfies a range.
+            Some(Plan::lookup(
+                IndexPredicate::NumRange { attr: attr.clone(), lo, hi },
+                true,
+            ))
         }
         // String ordering, bool/list equality: residual.
         _ => None,
     }
 }
 
-fn plan_match(a: &MatchArg, b: &MatchArg, is_derived: &dyn Fn(&str) -> bool) -> Option<Plan> {
+fn plan_match(
+    a: &MatchArg,
+    b: &MatchArg,
+    is_derived: &dyn Fn(&str) -> bool,
+    hints_for: &dyn Fn(&str) -> Option<MatchHints>,
+) -> Option<Plan> {
     // Mirror the evaluator's pattern-argument resolution: with exactly
     // one literal the literal is the pattern; other shapes (two
     // literals, two attributes) are not attribute probes.
@@ -214,12 +309,58 @@ fn plan_match(a: &MatchArg, b: &MatchArg, is_derived: &dyn Fn(&str) -> bool) -> 
     if is_derived(attr) {
         return None;
     }
-    let (prefix, exact) = anchored_literal_prefix(pattern)?;
-    Some(Plan::Lookup(if exact {
-        IndexPredicate::StrEq { attr: attr.clone(), value: prefix }
-    } else {
-        IndexPredicate::StrPrefix { attr: attr.clone(), prefix }
-    }))
+    let hints = hints_for(pattern)?;
+
+    // Strongest first: an anchored literal prefix (equality when the
+    // pattern matches nothing else). Exactness comes straight from the
+    // hint analysis — `^lit$`, `^lit`, `^lit.*` are exact; a prefix
+    // with a non-trivial tail is a superset filter.
+    if let Some(p) = &hints.prefix {
+        if p.literal.is_empty() {
+            return None;
+        }
+        let pred = if p.entire {
+            IndexPredicate::StrEq { attr: attr.clone(), value: p.literal.clone() }
+        } else {
+            IndexPredicate::StrPrefix { attr: attr.clone(), prefix: p.literal.clone() }
+        };
+        return Some(Plan::lookup(pred, hints.exact));
+    }
+
+    // Mandatory substrings → trigram probes, intersected when the
+    // pattern forces several. The probe itself is verified (exact per
+    // substring); the *plan* is exact only when containing the one
+    // substring is also sufficient for a match (bare `lit`, `.*lit.*`).
+    let needles: Vec<&String> = hints.required.iter().filter(|n| !n.is_empty()).collect();
+    if !needles.is_empty() {
+        if needles.len() == 1 {
+            return Some(Plan::lookup(
+                IndexPredicate::StrContains { attr: attr.clone(), needle: needles[0].clone() },
+                hints.exact,
+            ));
+        }
+        let parts = needles
+            .into_iter()
+            .map(|n| {
+                Plan::lookup(
+                    IndexPredicate::StrContains { attr: attr.clone(), needle: n.clone() },
+                    false,
+                )
+            })
+            .collect();
+        // Containment of all runs is necessary, not sufficient (order
+        // and overlap are unchecked), so the intersection is inexact.
+        return Some(Plan { node: PlanNode::Intersect(parts), exact: false });
+    }
+
+    // Weakest: a leading character class pins the first character.
+    if let Some(ranges) = &hints.first_ranges {
+        return Some(Plan::lookup(
+            IndexPredicate::StrFirstRanges { attr: attr.clone(), ranges: ranges.clone() },
+            false,
+        ));
+    }
+    None
 }
 
 fn flip(op: CmpOp) -> CmpOp {
@@ -232,158 +373,52 @@ fn flip(op: CmpOp) -> CmpOp {
     }
 }
 
-/// Extracts the anchored literal prefix of a regex pattern, if any.
-///
-/// Returns `Some((prefix, exact))` when every string the pattern can
-/// match starts with `prefix`; `exact` is true when the pattern is a
-/// fully anchored literal (`^lit$`) and so matches exactly `prefix`.
-///
-/// The prefix ends at the first metacharacter. A trailing `*`, `?` or
-/// `{` quantifier makes the preceding character optional, so it is
-/// dropped from the prefix; `+` keeps it (at-least-once). A `|` at the
-/// top nesting level anywhere in the pattern defeats the anchor —
-/// `^ab|cd` is `(^ab)|(cd)` — so such patterns yield `None`.
-fn anchored_literal_prefix(pattern: &str) -> Option<(String, bool)> {
-    let mut chars = pattern.char_indices().peekable();
-    let (_, first) = chars.next()?;
-    if first != '^' {
-        return None;
-    }
-    let mut prefix = String::new();
-    let mut rest_start = pattern.len();
-    while let Some(&(i, c)) = chars.peek() {
-        match c {
-            '\\' => {
-                let mut ahead = chars.clone();
-                ahead.next();
-                match ahead.peek() {
-                    // Class escapes match a set of characters: stop.
-                    Some(&(_, 'd' | 'D' | 'w' | 'W' | 's' | 'S')) => {
-                        rest_start = i;
-                        break;
-                    }
-                    Some(&(_, e)) => {
-                        prefix.push(match e {
-                            'n' => '\n',
-                            't' => '\t',
-                            'r' => '\r',
-                            other => other,
-                        });
-                        chars.next();
-                        chars.next();
-                    }
-                    // Trailing bare backslash: invalid pattern; the
-                    // regex engine already rejected it, but be safe.
-                    None => return None,
-                }
-            }
-            '$' => {
-                chars.next();
-                return if chars.peek().is_none() {
-                    Some((prefix, true))
-                } else {
-                    // `$` mid-pattern: this engine treats it as an
-                    // end-anchor, which makes reasoning about the
-                    // remainder subtle. Bail out.
-                    None
-                };
-            }
-            '*' | '?' | '{' => {
-                // The preceding literal is optional (or has an
-                // arbitrary bound we don't parse): drop it.
-                prefix.pop();
-                rest_start = i;
-                break;
-            }
-            '+' => {
-                // At-least-once: the literal stays, but nothing after
-                // it is certain.
-                rest_start = i;
-                break;
-            }
-            '.' | '(' | ')' | '[' | ']' | '}' | '|' | '^' => {
-                rest_start = i;
-                break;
-            }
-            _ => {
-                prefix.push(c);
-                chars.next();
-            }
-        }
-    }
-    if toplevel_alternation(&pattern[rest_start..]) {
-        return None;
-    }
-    if prefix.is_empty() {
-        None
-    } else {
-        Some((prefix, false))
-    }
-}
-
-/// Whether `tail` contains a `|` at parenthesis depth 0 (outside
-/// character classes and escapes) — which would let a match bypass the
-/// `^`-anchored prefix entirely.
-fn toplevel_alternation(tail: &str) -> bool {
-    let mut depth = 0usize;
-    let mut in_class = false;
-    let mut chars = tail.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '\\' => {
-                chars.next();
-            }
-            '[' if !in_class => in_class = true,
-            ']' if in_class => in_class = false,
-            '(' if !in_class => depth += 1,
-            ')' if !in_class => depth = depth.saturating_sub(1),
-            '|' if !in_class && depth == 0 => return true,
-            _ => {}
-        }
-    }
-    false
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::query::parse_query;
 
+    const CAP: usize = usize::MAX;
+
     fn plan_str(q: &str) -> Option<Plan> {
         let compiled = parse_query(q).unwrap();
-        plan(compiled.expr(), &|_| false)
+        plan(compiled.expr(), &|_| false, &legion_regex::analyze)
+    }
+
+    fn str_eq(attr: &str, value: &str) -> PlanNode {
+        PlanNode::Lookup(IndexPredicate::StrEq { attr: attr.into(), value: value.into() })
     }
 
     #[test]
     fn string_equality_both_orders() {
-        assert_eq!(
-            plan_str(r#"$os == "IRIX""#),
-            Some(Plan::Lookup(IndexPredicate::StrEq { attr: "os".into(), value: "IRIX".into() }))
-        );
-        assert_eq!(
-            plan_str(r#""IRIX" == $os"#),
-            Some(Plan::Lookup(IndexPredicate::StrEq { attr: "os".into(), value: "IRIX".into() }))
-        );
+        for q in [r#"$os == "IRIX""#, r#""IRIX" == $os"#] {
+            let p = plan_str(q).unwrap();
+            assert_eq!(p.node, str_eq("os", "IRIX"));
+            assert!(p.exact, "{q} plans exactly");
+        }
     }
 
     #[test]
     fn numeric_ranges_flip_with_operand_order() {
+        let p = plan_str("$load < 0.5").unwrap();
         assert_eq!(
-            plan_str("$load < 0.5"),
-            Some(Plan::Lookup(IndexPredicate::NumRange {
+            p.node,
+            PlanNode::Lookup(IndexPredicate::NumRange {
                 attr: "load".into(),
                 lo: Bound::Unbounded,
                 hi: Bound::Excluded(0.5),
-            }))
+            })
         );
+        assert!(p.exact);
         // `0.5 < $load` is `$load > 0.5`.
+        let p = plan_str("0.5 < $load").unwrap();
         assert_eq!(
-            plan_str("0.5 < $load"),
-            Some(Plan::Lookup(IndexPredicate::NumRange {
+            p.node,
+            PlanNode::Lookup(IndexPredicate::NumRange {
                 attr: "load".into(),
                 lo: Bound::Excluded(0.5),
                 hi: Bound::Unbounded,
-            }))
+            })
         );
     }
 
@@ -394,69 +429,104 @@ mod tests {
         assert_eq!(plan_str("$a == $b"), None); // attr-attr
         assert_eq!(plan_str(r#"$os < "M""#), None); // string ordering
         assert_eq!(plan_str(r#"contains($l, "x")"#), None);
-        assert_eq!(plan_str(r#"match($os, "IRIX")"#), None); // unanchored
         assert_eq!(plan_str("match($pat, $ver)"), None); // attr-sourced pattern
+        assert_eq!(plan_str(r#"match("a|b", $os)"#), None); // alternation
         assert_eq!(plan_str("true"), None);
     }
 
     #[test]
-    fn and_narrows_with_one_indexable_side() {
+    fn and_narrows_with_one_indexable_side_but_loses_exactness() {
         let p = plan_str(r#"$os == "IRIX" and not $load > 0.5"#).unwrap();
-        assert_eq!(
-            p,
-            Plan::Lookup(IndexPredicate::StrEq { attr: "os".into(), value: "IRIX".into() })
-        );
+        assert_eq!(p.node, str_eq("os", "IRIX"));
+        assert!(!p.exact, "dropped conjunct forfeits exactness");
+    }
+
+    #[test]
+    fn and_of_exact_sides_is_exact() {
+        let p = plan_str(r#"$os == "IRIX" and $load < 0.5"#).unwrap();
+        assert!(matches!(p.node, PlanNode::Intersect(_)));
+        assert!(p.exact);
+        // The paper's anchored-regex conjunction is fully exact too.
+        let p = plan_str(r#"match("^IRIX$", $os) and match("^5\.", $ver)"#).unwrap();
+        assert!(p.exact, "paper query must skip residual evaluation");
     }
 
     #[test]
     fn or_requires_both_arms() {
-        assert!(matches!(
-            plan_str(r#"$os == "IRIX" or $load < 0.5"#),
-            Some(Plan::Union(_))
-        ));
+        let p = plan_str(r#"$os == "IRIX" or $load < 0.5"#).unwrap();
+        assert!(matches!(p.node, PlanNode::Union(_)));
+        assert!(p.exact);
         assert_eq!(plan_str(r#"$os == "IRIX" or not $load > 0.5"#), None);
     }
 
     #[test]
     fn derived_attributes_are_residual() {
         let compiled = parse_query("$host_load_forecast < 0.5").unwrap();
-        assert_eq!(plan(compiled.expr(), &|n| n == "host_load_forecast"), None);
+        assert_eq!(
+            plan(compiled.expr(), &|n| n == "host_load_forecast", &legion_regex::analyze),
+            None
+        );
         // ...and poison only their own conjunct.
         let compiled = parse_query(r#"$os == "IRIX" and $host_load_forecast < 0.5"#).unwrap();
+        let p = plan(compiled.expr(), &|n| n == "host_load_forecast", &legion_regex::analyze)
+            .unwrap();
+        assert_eq!(p.node, str_eq("os", "IRIX"));
+        assert!(!p.exact);
+    }
+
+    #[test]
+    fn match_plans_use_equality_prefix_contains_or_first_ranges() {
+        // Fully anchored literal → exact equality probe.
+        let p = plan_str(r#"match("^IRIX$", $os)"#).unwrap();
+        assert_eq!(p.node, str_eq("os", "IRIX"));
+        assert!(p.exact);
+        // Anchored prefix → exact prefix probe.
+        let p = plan_str(r#"match("^5\..*", $ver)"#).unwrap();
         assert_eq!(
-            plan(compiled.expr(), &|n| n == "host_load_forecast"),
-            Some(Plan::Lookup(IndexPredicate::StrEq {
-                attr: "os".into(),
-                value: "IRIX".into()
-            }))
+            p.node,
+            PlanNode::Lookup(IndexPredicate::StrPrefix { attr: "ver".into(), prefix: "5.".into() })
         );
-    }
-
-    #[test]
-    fn anchored_prefixes() {
-        assert_eq!(anchored_literal_prefix("^IRIX"), Some(("IRIX".into(), false)));
-        assert_eq!(anchored_literal_prefix("^IRIX$"), Some(("IRIX".into(), true)));
-        assert_eq!(anchored_literal_prefix(r"^5\..*"), Some(("5.".into(), false)));
-        assert_eq!(anchored_literal_prefix("^ab*"), Some(("a".into(), false)));
-        assert_eq!(anchored_literal_prefix("^ab+"), Some(("ab".into(), false)));
-        assert_eq!(anchored_literal_prefix("^a{2}bc"), None); // `{` drops "a", leaving nothing
-        assert_eq!(anchored_literal_prefix("^$"), Some((String::new(), true)));
-    }
-
-    #[test]
-    fn alternation_defeats_the_anchor() {
-        assert_eq!(anchored_literal_prefix("^ab|cd"), None);
-        assert_eq!(anchored_literal_prefix("IRIX"), None); // unanchored
-        assert_eq!(anchored_literal_prefix("^a?bc"), None); // empty prefix after pop
-        // Grouped alternation after the prefix keeps the anchor.
-        assert_eq!(anchored_literal_prefix("^ab(c|d)"), Some(("ab".into(), false)));
-        // `|` inside a class is literal.
-        assert_eq!(anchored_literal_prefix("^ab[|]cd"), Some(("ab".into(), false)));
+        assert!(p.exact);
+        // Attribute-first spelling plans identically.
+        assert_eq!(plan_str(r#"match($ver, "^5\..*")"#), plan_str(r#"match("^5\..*", $ver)"#));
+        // Anchored prefix with a live tail → inexact prefix probe.
+        let p = plan_str(r#"match("^v\d+$", $ver)"#).unwrap();
+        assert_eq!(
+            p.node,
+            PlanNode::Lookup(IndexPredicate::StrPrefix { attr: "ver".into(), prefix: "v".into() })
+        );
+        assert!(!p.exact);
+        // Unanchored literal → exact trigram probe (this was residual
+        // before the trigram index).
+        let p = plan_str(r#"match("RIX", $os)"#).unwrap();
+        assert_eq!(
+            p.node,
+            PlanNode::Lookup(IndexPredicate::StrContains {
+                attr: "os".into(),
+                needle: "RIX".into()
+            })
+        );
+        assert!(p.exact);
+        // Two mandatory runs → inexact intersection of trigram probes.
+        let p = plan_str(r#"match("ab.*cd", $os)"#).unwrap();
+        assert!(matches!(&p.node, PlanNode::Intersect(parts) if parts.len() == 2));
+        assert!(!p.exact);
+        // Leading class → inexact first-character probe.
+        let p = plan_str(r#"match("^[A-Z]", $os)"#).unwrap();
+        assert_eq!(
+            p.node,
+            PlanNode::Lookup(IndexPredicate::StrFirstRanges {
+                attr: "os".into(),
+                ranges: vec![('A', 'Z')],
+            })
+        );
+        assert!(!p.exact);
     }
 
     #[test]
     fn estimates_upper_bound_execution() {
         use legion_core::{AttributeDb, LoidKind};
+        use legion_core::Loid;
         let mut idx = AttributeIndexes::new();
         for i in 0..10u64 {
             idx.insert(
@@ -467,33 +537,22 @@ mod tests {
             );
         }
         let selective = plan_str(r#"$os == "IRIX""#).unwrap();
-        assert_eq!(selective.estimate(&idx), selective.execute(&idx).len());
-        assert_eq!(selective.estimate(&idx), 2);
+        assert_eq!(selective.estimate(&idx, CAP), selective.execute(&idx).len());
+        assert_eq!(selective.estimate(&idx, CAP), 2);
         let broad = plan_str("$load >= 0.0").unwrap();
-        assert_eq!(broad.estimate(&idx), 10);
+        assert_eq!(broad.estimate(&idx, CAP), 10);
+        // ...and the broad estimate saturates at the cap without
+        // walking past it.
+        assert_eq!(broad.estimate(&idx, 3), 3);
         // Intersection estimates by its smallest part; union by the sum
         // (which may overcount overlap — fine for an upper bound).
         let both = plan_str(r#"$os == "IRIX" and $load >= 0.0"#).unwrap();
-        assert_eq!(both.estimate(&idx), 2);
+        assert_eq!(both.estimate(&idx, CAP), 2);
         let either = plan_str(r#"$os == "IRIX" or $load >= 0.0"#).unwrap();
-        assert_eq!(either.estimate(&idx), 12);
-        assert!(either.estimate(&idx) >= either.execute(&idx).len());
-    }
-
-    #[test]
-    fn match_plans_use_prefix_or_equality() {
-        assert_eq!(
-            plan_str(r#"match("^IRIX$", $os)"#),
-            Some(Plan::Lookup(IndexPredicate::StrEq { attr: "os".into(), value: "IRIX".into() }))
-        );
-        assert_eq!(
-            plan_str(r#"match("^5\..*", $ver)"#),
-            Some(Plan::Lookup(IndexPredicate::StrPrefix { attr: "ver".into(), prefix: "5.".into() }))
-        );
-        // Attribute-first spelling plans identically.
-        assert_eq!(
-            plan_str(r#"match($ver, "^5\..*")"#),
-            Some(Plan::Lookup(IndexPredicate::StrPrefix { attr: "ver".into(), prefix: "5.".into() }))
-        );
+        assert_eq!(either.estimate(&idx, CAP), 12);
+        assert!(either.estimate(&idx, CAP) >= either.execute(&idx).len());
+        // Trigram estimates match the verified candidate sets.
+        let contains = plan_str(r#"match("RIX", $os)"#).unwrap();
+        assert_eq!(contains.estimate(&idx, CAP), contains.execute(&idx).len());
     }
 }

@@ -2,7 +2,7 @@
 
 use super::ast::{MatchArg, Operand, QueryExpr};
 use legion_core::{AttrValue, AttributeDb};
-use legion_regex::Regex;
+use legion_regex::{MatchHints, Regex};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
@@ -20,6 +20,9 @@ pub struct Query {
     expr: QueryExpr,
     /// Pattern string → compiled regex; pre-seeded with literals.
     regex_cache: RwLock<HashMap<String, Option<Regex>>>,
+    /// Pattern string → index-planning hints; pre-seeded with literals
+    /// so the planner's per-query probe is a read-lock lookup.
+    hints_cache: RwLock<HashMap<String, Option<MatchHints>>>,
 }
 
 impl Query {
@@ -27,7 +30,25 @@ impl Query {
     pub fn compile(expr: QueryExpr) -> Result<Self, String> {
         let mut cache = HashMap::new();
         seed_literal_patterns(&expr, &mut cache)?;
-        Ok(Query { expr, regex_cache: RwLock::new(cache) })
+        let hints = cache
+            .iter()
+            .map(|(p, re)| (p.clone(), re.as_ref().and_then(|_| legion_regex::analyze(p))))
+            .collect();
+        Ok(Query { expr, regex_cache: RwLock::new(cache), hints_cache: RwLock::new(hints) })
+    }
+
+    /// Index-planning hints for a pattern (see
+    /// [`legion_regex::analyze`]), memoized alongside the compiled
+    /// regex. Literal patterns are pre-seeded at compile time.
+    pub(crate) fn hints_for(&self, pattern: &str) -> Option<MatchHints> {
+        if let Some(hints) = self.hints_cache.read().get(pattern) {
+            return hints.clone();
+        }
+        let mut cache = self.hints_cache.write();
+        cache
+            .entry(pattern.to_string())
+            .or_insert_with(|| legion_regex::analyze(pattern))
+            .clone()
     }
 
     /// The underlying expression.

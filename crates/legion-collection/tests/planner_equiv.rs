@@ -92,9 +92,16 @@ fn arb_term() -> impl Strategy<Value = String> {
         Just(r"5\.".to_string()),
     ];
     let substr_pat = prop_oneof![
-        Just("RIX".to_string()),
+        Just("RIX".to_string()),  // trigram-narrowed (3 bytes)
+        Just("RIX6".to_string()), // trigram-narrowed (2 grams intersected)
         Just("inux".to_string()),
-        Just("x".to_string()),
+        Just("x".to_string()),  // too short for trigrams: value-scan path
+        Just("5.3".to_string()), // dot is a metachar: inexact, residual must run
+    ];
+    let class_pat = prop_oneof![
+        Just("^[I-L]".to_string()),  // leading char-class range
+        Just("^[IL5]".to_string()),  // leading char-class set
+        Just("^[A-Z]inux".to_string()),
     ];
     prop_oneof![
         (arb_name(), arb_str()).prop_map(|(a, s)| format!(r#"${a} == "{s}""#)),
@@ -113,6 +120,9 @@ fn arb_term() -> impl Strategy<Value = String> {
         (arb_name(), prefix_pat.clone()).prop_map(|(a, p)| format!(r#"match("^{p}", ${a})"#)),
         (arb_name(), arb_str()).prop_map(|(a, p)| format!(r#"match("^{p}$", ${a})"#)),
         (arb_name(), substr_pat).prop_map(|(a, p)| format!(r#"match("{p}", ${a})"#)),
+        (arb_name(), class_pat).prop_map(|(a, p)| format!(r#"match("{p}", ${a})"#)),
+        (arb_name(), prefix_pat).prop_map(|(a, p)| format!(r#"match("^{p}(64)?$", ${a})"#)),
+        (arb_name(), arb_str()).prop_map(|(a, s)| format!(r#"match("{s}$", ${a})"#)),
         (arb_name(), arb_name()).prop_map(|(a, b)| format!("match(${a}, ${b})")),
         (arb_name(), "[xy]").prop_map(|(a, s)| format!(r#"contains(${a}, "{s}")"#)),
     ]
@@ -225,6 +235,36 @@ proptest! {
         for (ops, query) in &rounds {
             apply_ops(&c, ops);
             assert_equivalent(&c, query)?;
+        }
+    }
+
+    /// Shard count is invisible: collections with 1, 2, and 8 shards
+    /// fed the same interleaved join/update/replace/leave/evict
+    /// sequence hold bit-identical records and answer every query —
+    /// indexed and scan path both — bit-identically.
+    #[test]
+    fn shard_count_is_bit_identical(
+        rounds in proptest::collection::vec(
+            (proptest::collection::vec(arb_op(), 1..10), arb_query()),
+            1..4
+        ),
+    ) {
+        let collections: Vec<_> =
+            [1usize, 2, 8].iter().map(|&n| Collection::with_shards(7, n)).collect();
+        for (ops, query) in &rounds {
+            for c in &collections {
+                apply_ops(c, ops);
+            }
+            let q = parse_query(query).unwrap_or_else(|e| panic!("{query}: {e}"));
+            let reference = collections[0].query_scan(&q);
+            for c in &collections {
+                prop_assert_eq!(c.dump(), collections[0].dump());
+                prop_assert_eq!(&c.query_parsed(&q), &reference,
+                    "sharded ({} shards) disagrees with unsharded scan on {}",
+                    c.shard_count(), query);
+                prop_assert_eq!(&c.query_scan(&q), &reference,
+                    "sharded scan ({} shards) disagrees on {}", c.shard_count(), query);
+            }
         }
     }
 }

@@ -1,0 +1,426 @@
+//! Index hints extracted from a parsed pattern.
+//!
+//! The Collection planner wants to answer `match(pattern, $attr)`
+//! conjuncts from secondary indexes instead of running the VM over
+//! every record. This module derives, from the pattern's AST, a set of
+//! *necessary conditions* any matching text satisfies:
+//!
+//! * an **anchored literal prefix** — every match starts with it (and,
+//!   when `entire`, equals it exactly),
+//! * **required substrings** — literal runs the pattern forces into
+//!   every match (the feed for a trigram index),
+//! * a **leading character class** — when `^[...]` pins the first
+//!   character to a set of ranges.
+//!
+//! Each hint is *superset-safe* by construction: a text failing the
+//! hint can never match, so an index probe built from it may only
+//! over-approximate. When the hints are additionally *sufficient* —
+//! any text satisfying them matches — [`MatchHints::exact`] is set and
+//! the query engine can skip re-running the regex on candidates
+//! entirely. Exactness holds for the classic shapes (`^lit$`, `^lit`,
+//! `^lit.*`, bare `lit`, `.*lit.*`) under this engine's unanchored
+//! search semantics.
+
+use crate::ast::{Ast, ClassItem, PerlClass};
+use crate::parser;
+
+/// An anchored literal prefix every matching text starts with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixHint {
+    /// The literal.
+    pub literal: String,
+    /// True when the pattern matches *exactly* the literal (`^lit$`):
+    /// the prefix probe degenerates to an equality probe.
+    pub entire: bool,
+}
+
+/// Index-usable facts about a pattern. See the module docs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchHints {
+    /// Anchored literal prefix, if the pattern has one.
+    pub prefix: Option<PrefixHint>,
+    /// Literal substrings every matching text must contain (maximal
+    /// mandatory literal runs, in pattern order; includes the prefix).
+    pub required: Vec<String>,
+    /// Inclusive character ranges the *first* character of every match
+    /// must fall in (`^[A-Za-z]...`), when no literal prefix exists.
+    pub first_ranges: Option<Vec<(char, char)>>,
+    /// True when the hints are sufficient as well as necessary: a text
+    /// satisfying the strongest hint (equality for `entire` prefixes,
+    /// `starts_with` for plain prefixes, `contains` for a lone required
+    /// substring) is guaranteed to match the pattern.
+    pub exact: bool,
+}
+
+impl MatchHints {
+    /// Whether the hints can narrow anything at all.
+    pub fn is_useful(&self) -> bool {
+        self.prefix.is_some() || !self.required.is_empty() || self.first_ranges.is_some()
+    }
+}
+
+/// Analyzes `pattern`, returning its hints. `None` when the pattern
+/// does not parse (the evaluator will reject it too) — callers treat
+/// that as "no hints".
+pub fn analyze(pattern: &str) -> Option<MatchHints> {
+    let ast = parser::parse(pattern).ok()?;
+    Some(analyze_ast(&ast))
+}
+
+/// As [`analyze`], over an already-parsed AST.
+pub fn analyze_ast(ast: &Ast) -> MatchHints {
+    let items = flatten(ast);
+    // Alternation at the top level: a match may come from any arm, so
+    // only facts common to every arm survive. Keeping it simple —
+    // surrender (no hints) — mirrors the planner's previous behavior.
+    if items.iter().any(|i| matches!(i, Ast::Alternate(_))) {
+        return MatchHints::default();
+    }
+
+    let anchored = matches!(items.first(), Some(Ast::StartAnchor));
+    let body = if anchored { &items[1..] } else { &items[..] };
+
+    // A `^` or `$` in the middle of the body makes the remainder's
+    // relationship to the text subtle (this engine treats them as real
+    // anchors anywhere); required-substring collection stays sound, but
+    // prefix/exactness reasoning does not. Detect them up front.
+    let interior_anchor = body
+        .iter()
+        .enumerate()
+        .any(|(i, item)| matches!(item, Ast::StartAnchor)
+            || (matches!(item, Ast::EndAnchor) && i + 1 != body.len()));
+    let end_anchored = matches!(body.last(), Some(Ast::EndAnchor));
+    let body = if end_anchored { &body[..body.len() - 1] } else { body };
+
+    // Walk the body collecting maximal mandatory literal runs.
+    let mut required: Vec<String> = Vec::new();
+    let mut run = String::new();
+    for item in body {
+        match item {
+            Ast::Literal(c) => run.push(*c),
+            _ => {
+                if !run.is_empty() {
+                    required.push(std::mem::take(&mut run));
+                }
+                match item {
+                    // A repeat with min >= 1 forces its node's required
+                    // substrings to appear (once); min == 0 forces
+                    // nothing.
+                    Ast::Repeat { node, min, .. } if *min >= 1 => {
+                        required.extend(analyze_ast(node).required);
+                    }
+                    Ast::Group(inner) => {
+                        required.extend(analyze_ast(inner).required);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let trailing_run = !run.is_empty();
+    if trailing_run {
+        required.push(run);
+    }
+
+    let mut hints = MatchHints::default();
+
+    // Leading literal run → anchored prefix.
+    let leading: Option<&String> =
+        if anchored && matches!(body.first(), Some(Ast::Literal(_))) { required.first() } else { None };
+    if interior_anchor {
+        // Keep only the substring facts; they hold regardless.
+        hints.required = required;
+        return hints;
+    }
+    if let Some(prefix) = leading {
+        let only_item = required.len() == 1 && trailing_run
+            // The single run is the whole body exactly when nothing else
+            // non-empty follows it.
+            && body.len() == prefix.chars().count();
+        let entire = end_anchored && only_item;
+        // `^lit` / `^lit<nullable...>`: any text starting with `lit`
+        // matches. `^lit$`: any text equal to `lit` matches.
+        let rest_nullable = rest_after_leading_run_nullable(body, prefix.chars().count());
+        hints.exact = entire || (!end_anchored && rest_nullable);
+        hints.prefix = Some(PrefixHint { literal: prefix.clone(), entire });
+    } else if anchored {
+        // `^[...]` — pin the first character's ranges.
+        if let Some(Ast::Class { negated: false, items }) = body.first() {
+            hints.first_ranges = class_ranges(items);
+        }
+    } else {
+        // Unanchored: a lone mandatory literal run with an otherwise
+        // nullable body means `contains` is sufficient (`lit`,
+        // `.*lit.*`, `lit.*`, ...).
+        hints.exact = !end_anchored && required.len() == 1 && {
+            let lit = &required[0];
+            body_is_run_plus_nullable(body, lit)
+        };
+    }
+    hints.required = required;
+    hints
+}
+
+/// Whether everything after the leading literal run of `body` can match
+/// the empty string.
+fn rest_after_leading_run_nullable(body: &[Ast], run_len: usize) -> bool {
+    body[run_len..].iter().all(nullable)
+}
+
+/// Whether `body` is exactly one literal run (spelling `lit`) plus
+/// nullable items around it.
+fn body_is_run_plus_nullable(body: &[Ast], lit: &str) -> bool {
+    let mut lit_chars = lit.chars().peekable();
+    for item in body {
+        match item {
+            Ast::Literal(c) => {
+                if lit_chars.peek() == Some(c) {
+                    lit_chars.next();
+                } else {
+                    return false; // a second run exists
+                }
+            }
+            other => {
+                if !nullable(other) {
+                    return false;
+                }
+            }
+        }
+    }
+    lit_chars.next().is_none()
+}
+
+/// Whether `ast` can match the empty string.
+fn nullable(ast: &Ast) -> bool {
+    match ast {
+        Ast::Empty | Ast::StartAnchor | Ast::EndAnchor => true,
+        Ast::Literal(_) | Ast::AnyChar | Ast::Class { .. } | Ast::Perl(_) => false,
+        Ast::Concat(items) => items.iter().all(nullable),
+        Ast::Alternate(arms) => arms.iter().any(nullable),
+        Ast::Repeat { node, min, .. } => *min == 0 || nullable(node),
+        Ast::Group(inner) => nullable(inner),
+    }
+}
+
+/// Expands a non-negated class into inclusive char ranges, refusing
+/// shapes (negated perl shorthands) that are cheaper to leave to the VM.
+fn class_ranges(items: &[ClassItem]) -> Option<Vec<(char, char)>> {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            ClassItem::Char(c) => out.push((*c, *c)),
+            ClassItem::Range(lo, hi) => out.push((*lo, *hi)),
+            ClassItem::Perl(PerlClass::Digit) => out.push(('0', '9')),
+            ClassItem::Perl(_) => return None,
+        }
+    }
+    if out.is_empty() { None } else { Some(out) }
+}
+
+/// Flattens `ast` into a top-level concatenation sequence, unwrapping
+/// groups of concats.
+fn flatten(ast: &Ast) -> Vec<Ast> {
+    match ast {
+        Ast::Concat(items) => {
+            let mut out = Vec::new();
+            for item in items {
+                match item {
+                    Ast::Group(inner) if matches!(**inner, Ast::Concat(_) | Ast::Literal(_)) => {
+                        out.extend(flatten(inner))
+                    }
+                    other => out.push(other.clone()),
+                }
+            }
+            out
+        }
+        Ast::Group(inner) => flatten(inner),
+        other => vec![other.clone()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(pattern: &str) -> MatchHints {
+        analyze(pattern).expect("pattern parses")
+    }
+
+    #[test]
+    fn fully_anchored_literal_is_entire_and_exact() {
+        let hints = h("^IRIX$");
+        assert_eq!(
+            hints.prefix,
+            Some(PrefixHint { literal: "IRIX".into(), entire: true })
+        );
+        assert!(hints.exact);
+        assert_eq!(hints.required, vec!["IRIX".to_string()]);
+    }
+
+    #[test]
+    fn anchored_prefix_shapes_are_exact() {
+        for pat in ["^IRIX", r"^5\.", "^IRIX.*", r"^5\..*", "^ab(x|y)?"] {
+            let hints = h(pat);
+            assert!(hints.prefix.is_some(), "{pat}");
+            assert!(!hints.prefix.as_ref().unwrap().entire, "{pat}");
+            assert!(hints.exact, "{pat} should be exact");
+        }
+        assert_eq!(h(r"^5\.").prefix.unwrap().literal, "5.");
+    }
+
+    #[test]
+    fn anchored_prefix_with_real_tail_is_inexact() {
+        for pat in ["^IRIX$x^", "^ab+c", "^ab.c", r"^v\d", "^ab[xy]"] {
+            let hints = h(pat);
+            assert!(!hints.exact, "{pat} must not be exact");
+        }
+        // ...but the prefix survives as a superset filter.
+        assert_eq!(h("^ab.c").prefix.unwrap().literal, "ab");
+        // And the tail's own literal runs are still required.
+        assert_eq!(h("^ab.cd").required, vec!["ab".to_string(), "cd".to_string()]);
+    }
+
+    #[test]
+    fn end_anchor_defeats_prefix_exactness_but_not_the_prefix() {
+        let hints = h("^IRIX.*64$");
+        assert_eq!(hints.prefix.as_ref().unwrap().literal, "IRIX");
+        assert!(!hints.prefix.as_ref().unwrap().entire);
+        assert!(!hints.exact);
+        assert_eq!(hints.required, vec!["IRIX".to_string(), "64".to_string()]);
+    }
+
+    #[test]
+    fn bare_literal_is_contains_exact() {
+        for pat in ["IRIX", "IRIX.*", ".*IRIX.*", ".*nux"] {
+            let hints = h(pat);
+            assert!(hints.prefix.is_none(), "{pat}");
+            assert_eq!(hints.required.len(), 1, "{pat}");
+            assert!(hints.exact, "{pat} should be contains-exact");
+        }
+        assert_eq!(h(".*nux").required, vec!["nux".to_string()]);
+    }
+
+    #[test]
+    fn two_runs_are_required_but_inexact() {
+        let hints = h("ab.*cd");
+        assert_eq!(hints.required, vec!["ab".to_string(), "cd".to_string()]);
+        assert!(!hints.exact); // "cdab" contains both yet does not match
+    }
+
+    #[test]
+    fn end_anchored_literal_is_inexact_contains() {
+        let hints = h("nux$");
+        assert_eq!(hints.required, vec!["nux".to_string()]);
+        assert!(!hints.exact); // "nuxx" contains but does not match
+    }
+
+    #[test]
+    fn alternation_yields_nothing() {
+        assert_eq!(h("^ab|cd"), MatchHints::default());
+        assert_eq!(h("cat|dog"), MatchHints::default());
+        // Grouped alternation after a prefix keeps the prefix.
+        let hints = h("^ab(c|d)");
+        assert_eq!(hints.prefix.unwrap().literal, "ab");
+        assert!(!hints.exact);
+    }
+
+    #[test]
+    fn leading_class_pins_first_char() {
+        let hints = h("^[A-Z]rix");
+        assert_eq!(hints.first_ranges, Some(vec![('A', 'Z')]));
+        assert!(!hints.exact);
+        assert_eq!(hints.required, vec!["rix".to_string()]);
+
+        let hints = h(r"^[a-c5\d]x");
+        assert_eq!(
+            hints.first_ranges,
+            Some(vec![('a', 'c'), ('5', '5'), ('0', '9')])
+        );
+        // Negated classes and non-digit shorthands: no ranges.
+        assert_eq!(h("^[^a-z]x").first_ranges, None);
+        assert_eq!(h(r"^[\w]x").first_ranges, None);
+    }
+
+    #[test]
+    fn repeats_contribute_required_substrings() {
+        // `(ab)+` must contain "ab"; `(ab)*` need not.
+        assert_eq!(h("(ab)+").required, vec!["ab".to_string()]);
+        assert!(h("(ab)*").required.is_empty());
+        assert_eq!(h("x(ab){2,}y").required,
+                   vec!["x".to_string(), "ab".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn optional_leading_literal_is_not_a_prefix() {
+        let hints = h("^a?bc");
+        assert!(hints.prefix.is_none());
+        assert_eq!(hints.required, vec!["bc".to_string()]);
+        assert!(!hints.exact);
+    }
+
+    #[test]
+    fn unparseable_patterns_yield_none() {
+        assert!(analyze("a(b").is_none());
+        assert!(analyze("[z-a]").is_none() || analyze("[z-a]").is_some()); // parser's call
+    }
+
+    #[test]
+    fn empty_pattern_has_no_hints() {
+        let hints = h("");
+        assert!(!hints.is_useful());
+        assert!(!hints.exact);
+    }
+
+    /// Exhaustive cross-check: for a corpus of patterns and texts, a
+    /// text failing the hints must not match (necessity), and when
+    /// `exact` a text passing the strongest hint must match
+    /// (sufficiency).
+    #[test]
+    fn hints_agree_with_the_vm() {
+        let patterns = [
+            "^IRIX$", "^IRIX", "^IRIX.*", r"^5\.", "IRIX", ".*RIX.*", "nux$",
+            "^ab+c", "ab.*cd", "^[A-Z]rix", "^a?bc", "(ab)+", r"^v\d+$",
+            "^IRIX.*64$", "x(ab){2}y",
+        ];
+        let texts = [
+            "IRIX", "IRIX64", "my IRIX box", "5.3", "65.3", "Linux", "linux",
+            "abc", "abbc", "ac", "cdab", "abxcd", "Zrix", "zrix", "bc", "xbc",
+            "abab", "ab", "v12", "v", "IRIX_64", "xababy", "xaby", "",
+        ];
+        for pat in patterns {
+            let re = crate::Regex::new(pat).unwrap();
+            let hints = h(pat);
+            for text in texts {
+                let matched = re.is_match(text);
+                if matched {
+                    // Necessity: every hint holds.
+                    if let Some(p) = &hints.prefix {
+                        assert!(text.starts_with(&p.literal), "{pat} vs {text}");
+                        if p.entire {
+                            assert_eq!(text, p.literal, "{pat} vs {text}");
+                        }
+                    }
+                    for req in &hints.required {
+                        assert!(text.contains(req.as_str()), "{pat} vs {text}: missing {req}");
+                    }
+                    if let Some(ranges) = &hints.first_ranges {
+                        let first = text.chars().next().expect("non-empty");
+                        assert!(
+                            ranges.iter().any(|(lo, hi)| (*lo..=*hi).contains(&first)),
+                            "{pat} vs {text}"
+                        );
+                    }
+                }
+                if hints.exact {
+                    // Sufficiency of the strongest hint.
+                    let satisfied = match &hints.prefix {
+                        Some(p) if p.entire => text == p.literal,
+                        Some(p) => text.starts_with(&p.literal),
+                        None => text.contains(hints.required[0].as_str()),
+                    };
+                    assert_eq!(satisfied, matched, "{pat} vs {text}: exactness violated");
+                }
+            }
+        }
+    }
+}

@@ -32,10 +32,12 @@
 mod ast;
 mod compile;
 mod error;
+pub mod hints;
 mod parser;
 mod vm;
 
 pub use error::RegexError;
+pub use hints::{analyze, MatchHints, PrefixHint};
 
 use compile::Program;
 
