@@ -17,9 +17,14 @@
 
 pub mod apps;
 pub mod experiments;
+pub mod sim;
 pub mod table;
 pub mod testbed;
 
 pub use apps::{BagOfTasks, PipelineApp, StencilApp};
+pub use sim::{
+    run_chaos_soak, run_rebalance_sim, schedule_fault_plan, seed_sweep, SimRebalanceReport,
+    SimSoakConfig, SimSoakReport,
+};
 pub use table::Table;
 pub use testbed::{LoadRegime, Testbed, TestbedConfig};

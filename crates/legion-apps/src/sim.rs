@@ -1,0 +1,462 @@
+//! Whole-system simulation scenarios over the discrete-event scheduler.
+//!
+//! [`crate::Testbed`] plus [`legion_fabric::SimHandle`] gives a
+//! simulation harness in the GridSim mould: the full RMI pipeline
+//! (Scheduler → Enactor → Hosts, with the Collection daemon, Watchdog
+//! and Rebalancer riding along) runs as scheduled events and actor-style
+//! tasks, so a chaos soak that takes minutes of ticking under the
+//! scoped-thread path executes thousands of concurrent placement
+//! episodes in well under a second of wall clock — deterministically.
+//!
+//! Three ready-made scenarios:
+//!
+//! * [`run_chaos_soak`] — an open-loop placement stream under host
+//!   churn, partitions and link bursts; every arrival is a sim task that
+//!   retries with sim-time gaps, dwells, and departs.
+//! * [`run_rebalance_sim`] — the skewed-load rebalancing soak as pure
+//!   events: pile-up, closed-loop sweeps, chaos, convergence.
+//! * [`seed_sweep`] — runs a scenario across many seeds and panics with
+//!   the failing seed's event schedule, so `SIM_SEED=<x>` reproduction
+//!   is one read of the test log (see `docs/simulation.md`).
+
+use crate::testbed::{Testbed, TestbedConfig};
+use legion_core::{
+    HostObject, Loid, ObjectSpec, PlacementRequest, ReservationRequest, SimDuration, SimTime,
+};
+use legion_fabric::{FaultAction, FaultCounts, FaultPlan, MetricsSnapshot, SimError, SimHandle};
+use legion_monitor::{RebalanceConfig, Rebalancer, SweepReport, Watchdog};
+use legion_schedule::{Enactor, EnactorConfig};
+use legion_schedulers::{LoadAwareScheduler, ScheduleDriver, SchedCtx, Scheduler};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shape of a [`run_chaos_soak`] scenario. Everything derives from
+/// `seed`; two runs of the same config are byte-identical (see the
+/// determinism contract in `legion_fabric::sim`).
+#[derive(Debug, Clone)]
+pub struct SimSoakConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Administrative domains in the bed.
+    pub domains: usize,
+    /// Unix hosts per domain.
+    pub hosts_per_domain: usize,
+    /// Placement episodes to submit.
+    pub episodes: usize,
+    /// Virtual time between episode arrivals.
+    pub arrival_gap: SimDuration,
+    /// Period of the maintenance tick (host reassessment, Collection
+    /// pull, Watchdog patrol, stale-record eviction).
+    pub tick: SimDuration,
+    /// When the recurring maintenance tick stops (episodes keep running
+    /// until their own retries drain).
+    pub horizon: SimDuration,
+    /// Crash/restart churn events in the fault plan.
+    pub chaos_crashes: usize,
+    /// How long each crashed host stays down.
+    pub crash_down_for: SimDuration,
+    /// Transient domain partitions in the fault plan.
+    pub chaos_partitions: usize,
+    /// How long each partition lasts.
+    pub partition_lasting: SimDuration,
+    /// Retries an episode attempts after a failed placement.
+    pub max_retries: usize,
+    /// Virtual time an episode waits between retries.
+    pub retry_gap: SimDuration,
+    /// How long a placed object runs before the episode destroys it.
+    pub dwell: SimDuration,
+    /// Enable wire emulation: with the sim attached, every metered
+    /// message parks its episode for the link latency in *virtual* time
+    /// (never a real sleep) — proves the latency-overlap path.
+    pub wire_emulation: bool,
+    /// Capture a `legion-trace/v1` JSON export in the report.
+    pub trace: bool,
+}
+
+impl Default for SimSoakConfig {
+    fn default() -> Self {
+        SimSoakConfig {
+            seed: 0x51D0_5EED,
+            domains: 3,
+            hosts_per_domain: 4,
+            episodes: 300,
+            arrival_gap: SimDuration::from_secs(8),
+            tick: SimDuration::from_secs(30),
+            horizon: SimDuration::from_secs(3600),
+            chaos_crashes: 6,
+            crash_down_for: SimDuration::from_secs(300),
+            chaos_partitions: 3,
+            partition_lasting: SimDuration::from_secs(60),
+            max_retries: 6,
+            retry_gap: SimDuration::from_secs(20),
+            dwell: SimDuration::from_secs(120),
+            wire_emulation: true,
+            trace: true,
+        }
+    }
+}
+
+impl SimSoakConfig {
+    /// The default scenario at a given seed.
+    pub fn seeded(seed: u64) -> Self {
+        SimSoakConfig { seed, ..Default::default() }
+    }
+
+    /// A bigger bed with `episodes` arrivals packed `gap` apart.
+    pub fn with_episodes(mut self, episodes: usize, gap: SimDuration) -> Self {
+        self.episodes = episodes;
+        self.arrival_gap = gap;
+        self
+    }
+}
+
+/// Outcome of a [`run_chaos_soak`] scenario.
+#[derive(Debug, Clone)]
+pub struct SimSoakReport {
+    /// Episodes submitted.
+    pub submitted: u64,
+    /// Episodes whose placement eventually succeeded.
+    pub completed: u64,
+    /// Episodes that exhausted their retries.
+    pub failed: u64,
+    /// Watchdog restart-from-OPR recoveries over the run.
+    pub recoveries: u64,
+    /// Planned fault totals (all fired by construction — the plan's
+    /// horizon is inside the tick horizon).
+    pub fault_counts: FaultCounts,
+    /// Final ledger snapshot.
+    pub metrics: MetricsSnapshot,
+    /// `legion-trace/v1` export, when tracing was requested.
+    pub trace_json: Option<String>,
+    /// Scheduler statistics for the run.
+    pub stats: legion_fabric::SimRunStats,
+}
+
+/// Shared per-tick maintenance state for the recurring tick event.
+struct Ticker {
+    tb: Testbed,
+    dog: Watchdog,
+    tick: SimDuration,
+    horizon: SimTime,
+    stale_ttl: SimDuration,
+    recoveries: AtomicU64,
+}
+
+fn schedule_ticks(sim: &SimHandle, t: Arc<Ticker>, at: SimTime) {
+    sim.schedule_at(at, "tick", move |h| {
+        let now = h.now();
+        t.tb.fabric.reassess_all(now);
+        t.tb.daemon.pull_once(now);
+        t.recoveries.fetch_add(t.dog.patrol(now).len() as u64, Ordering::Relaxed);
+        t.tb.collection.evict_stale(now, t.stale_ttl);
+        if now + t.tick <= t.horizon {
+            let next = now + t.tick;
+            schedule_ticks(h, Arc::clone(&t), next);
+        }
+    });
+}
+
+/// Schedules one [`legion_fabric::Fabric::fire_due_faults`] event at
+/// every instant the plan changes state, then installs the plan. Fault
+/// injections and partition heals land at their exact virtual times —
+/// no tick quantisation.
+pub fn schedule_fault_plan(sim: &SimHandle, fabric: &Arc<legion_fabric::Fabric>, plan: FaultPlan) {
+    for at in plan.firing_times() {
+        let fabric = Arc::clone(fabric);
+        sim.schedule_at(at, format!("faults@{at}"), move |h| fabric.fire_due_faults(h.now()));
+    }
+    fabric.install_fault_plan(plan);
+}
+
+/// Runs the full-pipeline chaos soak as a discrete-event simulation and
+/// returns its report, or the failing event schedule if anything inside
+/// the simulation panicked.
+pub fn run_chaos_soak(cfg: &SimSoakConfig) -> Result<SimSoakReport, SimError> {
+    let tb = Testbed::build(TestbedConfig::wide(cfg.domains, cfg.hosts_per_domain, cfg.seed));
+    let class = tb.register_class("sim-app", 20, 48);
+    let sink = cfg.trace.then(|| tb.fabric.enable_tracing());
+    let sim = SimHandle::new(Arc::clone(tb.fabric.clock()));
+    tb.fabric.attach_sim(sim.clone());
+    if cfg.wire_emulation {
+        tb.fabric.set_wire_emulation(1);
+    }
+
+    // Chaos plan: churn + partitions, all inside the first 5/6 of the
+    // horizon so every event (and heal) fires before the ticks stop.
+    let plan_horizon = SimDuration::from_micros(cfg.horizon.as_micros() * 5 / 6);
+    let mut plan = FaultPlan::new();
+    if cfg.chaos_crashes > 0 {
+        plan = plan.merge(FaultPlan::random_churn(
+            &tb.fabric.rng(),
+            &tb.host_loids,
+            plan_horizon,
+            cfg.chaos_crashes,
+            cfg.crash_down_for,
+        ));
+    }
+    if cfg.chaos_partitions > 0 && cfg.domains >= 2 {
+        plan = plan.merge(FaultPlan::random_partitions(
+            &tb.fabric.rng(),
+            cfg.domains as u16,
+            plan_horizon,
+            cfg.chaos_partitions,
+            cfg.partition_lasting,
+        ));
+    }
+    let fault_counts = plan.counts();
+    schedule_fault_plan(&sim, &tb.fabric, plan);
+
+    let scheduler: Arc<dyn Scheduler> = Arc::new(LoadAwareScheduler::new());
+    let enactor = Arc::new(Enactor::with_config(
+        tb.fabric.clone(),
+        EnactorConfig { deadline: Some(SimDuration::from_secs(45)), ..Default::default() },
+    ));
+    let ctx = Arc::new(SchedCtx::new(Arc::clone(&tb.fabric), Arc::clone(&tb.collection)));
+    let class_obj = tb.fabric.lookup_class(class).expect("registered class");
+
+    let completed = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+
+    // Episode arrivals: each is a Run event spawning one actor-style
+    // task, so carrier threads exist only while their episode is live.
+    for i in 0..cfg.episodes {
+        let at = SimTime::ZERO + SimDuration::from_micros(cfg.arrival_gap.as_micros() * i as u64);
+        let scheduler = Arc::clone(&scheduler);
+        let enactor = Arc::clone(&enactor);
+        let ctx = Arc::clone(&ctx);
+        let class_obj = Arc::clone(&class_obj);
+        let fabric = Arc::clone(&tb.fabric);
+        let completed = Arc::clone(&completed);
+        let failed = Arc::clone(&failed);
+        let (max_retries, retry_gap, dwell) = (cfg.max_retries, cfg.retry_gap, cfg.dwell);
+        sim.schedule_at(at, format!("arrive:ep-{i}"), move |h| {
+            h.spawn(format!("ep-{i}"), move |h| {
+                let driver = ScheduleDriver::new(&*scheduler, &enactor);
+                let request = PlacementRequest::new().class(class, 1);
+                for attempt in 0..=max_retries {
+                    match driver.place(&request, &ctx) {
+                        Ok(report) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            let obj = report.placed[0].1;
+                            // Dwell, then depart: the object's slot frees
+                            // for later arrivals.
+                            h.sleep(dwell);
+                            let _ = class_obj.destroy_instance(obj, &*fabric);
+                            return;
+                        }
+                        Err(_) if attempt < max_retries => h.sleep(retry_gap),
+                        Err(_) => {}
+                    }
+                }
+                failed.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+    }
+
+    // Maintenance ticks: reassess → pull → patrol → evict, recurring.
+    // Partitions last ≤2 probe periods; 4 allowed misses keeps the
+    // Watchdog from declaring partitioned (not crashed) hosts dead.
+    let ticker = Arc::new(Ticker {
+        tb,
+        dog: Watchdog::new(Arc::clone(&ctx.fabric), 4),
+        tick: cfg.tick,
+        horizon: SimTime::ZERO + cfg.horizon,
+        stale_ttl: SimDuration::from_secs(150),
+        recoveries: AtomicU64::new(0),
+    });
+    schedule_ticks(&sim, Arc::clone(&ticker), SimTime::ZERO + cfg.tick);
+
+    let stats = sim.run()?;
+    ticker.tb.fabric.detach_sim();
+
+    Ok(SimSoakReport {
+        submitted: cfg.episodes as u64,
+        completed: completed.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        recoveries: ticker.recoveries.load(Ordering::Relaxed),
+        fault_counts,
+        metrics: ticker.tb.fabric.metrics().snapshot(),
+        trace_json: sink.as_ref().map(|s| legion_trace::trace_json(s)),
+        stats,
+    })
+}
+
+/// Outcome of a [`run_rebalance_sim`] scenario.
+#[derive(Debug, Clone)]
+pub struct SimRebalanceReport {
+    /// First sweep index (after the chaos window) whose report
+    /// converged, if any.
+    pub converged_at: Option<usize>,
+    /// Every sweep's report, in order.
+    pub sweeps: Vec<SweepReport>,
+    /// Total completed migrations.
+    pub migrated: usize,
+    /// Live instances of the skewed class at the end.
+    pub live_objects: usize,
+    /// Final ledger snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Scheduler statistics for the run.
+    pub stats: legion_fabric::SimRunStats,
+}
+
+/// The skewed-load rebalancing soak (`tests/rebalance_soak.rs`'s
+/// scenario) as pure events: 5+5 objects piled on two hosts, a
+/// closed-loop [`Rebalancer`] sweeping every 30s of virtual time while
+/// the fault plan crashes the hottest host, churns an idle one, and
+/// partitions domain 0 from domain 2.
+pub fn run_rebalance_sim(seed: u64, sweeps: usize) -> Result<SimRebalanceReport, SimError> {
+    let tb = Testbed::build(TestbedConfig::wide(3, 4, seed));
+    let class = tb.register_class("rb-app", 20, 48);
+    let sim = SimHandle::new(Arc::clone(tb.fabric.clock()));
+    tb.fabric.attach_sim(sim.clone());
+
+    let period = SimDuration::from_secs(30);
+    let hot = tb.unix_hosts[0].loid();
+    let idle = tb.unix_hosts[7].loid();
+    let plan = FaultPlan::new()
+        .at(SimTime::from_secs(600), FaultAction::CrashHost(hot))
+        .at(SimTime::from_secs(1200), FaultAction::RestartHost(hot))
+        .at(SimTime::from_secs(1500), FaultAction::CrashHost(idle))
+        .at(SimTime::from_secs(2000), FaultAction::RestartHost(idle))
+        .at(
+            SimTime::from_secs(1800),
+            FaultAction::Partition {
+                a: legion_fabric::DomainId(0),
+                b: legion_fabric::DomainId(2),
+                heal_at: SimTime::from_secs(1890),
+            },
+        );
+    schedule_fault_plan(&sim, &tb.fabric, plan);
+
+    // Setup at t=1s: refresh the Collection, then pile 5+5 objects onto
+    // the first two hosts of domain 0 (each pile fills its host's CPU
+    // reservation capacity exactly).
+    let objects: Arc<Mutex<Vec<Loid>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let tb_fabric = Arc::clone(&tb.fabric);
+        let daemon = Arc::clone(&tb.daemon);
+        let hosts =
+            [Arc::clone(&tb.unix_hosts[0]), Arc::clone(&tb.unix_hosts[1])];
+        let objects = Arc::clone(&objects);
+        sim.schedule_at(SimTime::from_secs(1), "pile-on", move |h| {
+            daemon.pull_once(h.now());
+            let mut objs = objects.lock();
+            for host in &hosts {
+                let vault = legion_core::HostObject::get_compatible_vaults(&**host)[0];
+                for _ in 0..5 {
+                    let req = ReservationRequest::instantaneous(
+                        class,
+                        vault,
+                        SimDuration::from_secs(1 << 20),
+                    )
+                    .with_demand(20, 48);
+                    let now = h.now();
+                    let tok = legion_core::HostObject::make_reservation(&**host, &req, now)
+                        .expect("pile-on reservation");
+                    let obj = legion_core::HostObject::start_object(
+                        &**host,
+                        &tok,
+                        &[ObjectSpec::new(class)],
+                        now,
+                    )
+                    .expect("pile-on start")[0];
+                    tb_fabric
+                        .lookup_class(class)
+                        .unwrap()
+                        .note_instance_location(obj, legion_core::HostObject::loid(&**host));
+                    objs.push(obj);
+                }
+            }
+        });
+    }
+
+    let config = RebalanceConfig {
+        stale_ttl: SimDuration::from_secs(75),
+        ..RebalanceConfig::default()
+    };
+    let rb = Arc::new(Rebalancer::closed_loop(
+        tb.fabric.clone(),
+        tb.collection.clone(),
+        config,
+    ));
+    let dog = Watchdog::new(tb.fabric.clone(), 4);
+    let reports: Arc<Mutex<Vec<SweepReport>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // One sweep event per period: advance host state, refresh records,
+    // patrol, sweep — the exact per-tick sequence of the thread-path
+    // soak, as events.
+    struct SweepState {
+        tb: Testbed,
+        rb: Arc<Rebalancer>,
+        dog: Watchdog,
+        reports: Arc<Mutex<Vec<SweepReport>>>,
+        period: SimDuration,
+        remaining: AtomicU64,
+    }
+    fn schedule_sweep(sim: &SimHandle, st: Arc<SweepState>, at: SimTime) {
+        sim.schedule_at(at, "sweep", move |h| {
+            let now = h.now();
+            st.tb.fabric.reassess_all(now);
+            st.tb.daemon.pull_once(now);
+            st.dog.patrol(now);
+            st.reports.lock().push(st.rb.sweep(now));
+            if st.remaining.fetch_sub(1, Ordering::Relaxed) > 1 {
+                let next = now + st.period;
+                schedule_sweep(h, Arc::clone(&st), next);
+            }
+        });
+    }
+    let state = Arc::new(SweepState {
+        tb,
+        rb,
+        dog,
+        reports: Arc::clone(&reports),
+        period,
+        remaining: AtomicU64::new(sweeps as u64),
+    });
+    if sweeps > 0 {
+        schedule_sweep(&sim, Arc::clone(&state), SimTime::ZERO + period);
+    }
+
+    let stats = sim.run()?;
+    state.tb.fabric.detach_sim();
+
+    let reports = reports.lock().clone();
+    // Convergence only counts after the last fault has healed (2000s
+    // restart + 100s slack), same rule as the thread-path soak.
+    let converged_at = reports
+        .iter()
+        .enumerate()
+        .position(|(i, r)| r.converged && period.as_micros() * (i as u64 + 1) > 2_100_000_000);
+    let migrated = reports.iter().map(|r| r.completed.len()).sum();
+    let live_objects =
+        state.tb.unix_hosts.iter().map(|h| h.running_objects().len()).sum();
+    Ok(SimRebalanceReport {
+        converged_at,
+        sweeps: reports,
+        migrated,
+        live_objects,
+        metrics: state.tb.fabric.metrics().snapshot(),
+        stats,
+    })
+}
+
+/// Runs `scenario` once per seed; if any run fails, panics with the
+/// failing seed *and* that run's event-schedule tail so the failure is
+/// reproducible from the log alone. Returns the per-seed results.
+pub fn seed_sweep<R>(
+    seeds: impl IntoIterator<Item = u64>,
+    mut scenario: impl FnMut(u64) -> Result<R, SimError>,
+) -> Vec<(u64, R)> {
+    seeds
+        .into_iter()
+        .map(|seed| match scenario(seed) {
+            Ok(r) => (seed, r),
+            Err(e) => panic!(
+                "seed {seed:#x} failed: {}\nreproduce with this seed; its event schedule was:\n{}",
+                e.message, e.schedule
+            ),
+        })
+        .collect()
+}

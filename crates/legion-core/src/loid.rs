@@ -51,6 +51,42 @@ pub struct Loid {
 
 static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
 
+/// Serialises replay-sensitive test runs against each other.
+///
+/// [`Loid::fresh`] draws from a process-wide counter — the one piece of
+/// global state that leaks into trace exports (LOID strings appear in
+/// episode roots and span attributes). Tests that compare two runs
+/// byte-for-byte must hold a [`ReplayGuard`] so concurrent tests cannot
+/// interleave allocations, and must [`ReplayGuard::rebase`] the counter
+/// to the same lane before each run.
+static REPLAY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Exclusive license to manipulate the global LOID sequence counter.
+///
+/// Obtained from [`Loid::replay_guard`]; test harness use only. While a
+/// guard is held, no other thread holding (or waiting for) a guard can
+/// allocate interleaved sequence numbers.
+pub struct ReplayGuard {
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl ReplayGuard {
+    /// Moves the global sequence counter to `base`, so a replayed run
+    /// allocates the same LOIDs as its reference run.
+    ///
+    /// Pick a lane far above anything organic (e.g. `1 << 40`) so the
+    /// rebase cannot collide with identifiers allocated by other tests
+    /// before the guard was taken.
+    pub fn rebase(&self, base: u64) {
+        NEXT_SEQ.store(base, Ordering::SeqCst);
+    }
+
+    /// The next sequence number the allocator will hand out.
+    pub fn next_seq(&self) -> u64 {
+        NEXT_SEQ.load(Ordering::SeqCst)
+    }
+}
+
 impl Loid {
     /// Allocates a fresh identifier of the given kind.
     ///
@@ -65,6 +101,18 @@ impl Loid {
     /// Builds a deterministic identifier, for testbed construction.
     pub fn synthetic(kind: LoidKind, seq: u64) -> Self {
         Loid { kind, seq, nonce: mix64(seq) }
+    }
+
+    /// Takes the process-wide replay lock (test harness only).
+    ///
+    /// Byte-identical replay tests rebase the global sequence counter
+    /// through the returned guard; holding it keeps unrelated tests from
+    /// interleaving allocations into the replayed lane. See
+    /// [`ReplayGuard`].
+    pub fn replay_guard() -> ReplayGuard {
+        ReplayGuard {
+            _lock: REPLAY_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner()),
+        }
     }
 
     /// The nil identifier (names nothing).

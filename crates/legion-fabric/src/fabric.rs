@@ -43,6 +43,10 @@ pub struct Fabric {
     /// Wire-latency emulation: real nanoseconds slept per simulated
     /// microsecond of message latency (0 = off, the default).
     realtime_ns_per_sim_us: std::sync::atomic::AtomicU64,
+    /// Attached discrete-event scheduler, if any. When present, waits
+    /// that would block a thread (wire emulation, enactor backoff) become
+    /// scheduled events instead — see [`Fabric::attach_sim`].
+    sim: RwLock<Option<crate::sim::SimHandle>>,
 }
 
 /// Live state of an installed fault plan: the not-yet-fired events plus
@@ -80,6 +84,7 @@ impl Fabric {
             link_rng,
             chaos: Mutex::new(None),
             realtime_ns_per_sim_us: std::sync::atomic::AtomicU64::new(0),
+            sim: RwLock::new(None),
         })
     }
 
@@ -237,13 +242,27 @@ impl Fabric {
             .realtime_ns_per_sim_us
             .load(std::sync::atomic::Ordering::Relaxed);
         if scale > 0 {
-            // Emulated wire latency: block the calling thread for real
-            // time proportional to the simulated latency, as a real RPC
-            // over this link would. Sub-20µs sleeps are skipped — the
-            // kernel timer floor would inflate them well past scale.
-            let ns = lat.as_micros().saturating_mul(scale);
-            if ns >= 20_000 {
-                std::thread::sleep(std::time::Duration::from_nanos(ns));
+            if let Some(sim) = self.sim.read().as_ref() {
+                // Under the discrete-event scheduler the wait is an
+                // event, not a sleep: a sim task parks until the wake at
+                // `now + lat` fires, so the episode genuinely spends the
+                // wire latency in virtual time while other tasks run —
+                // at full wall-clock speed. Non-task callers (control
+                // thread closures, fan-out workers) cannot park and skip
+                // the wait; their latency is still charged above.
+                if sim.in_task() {
+                    sim.sleep(lat);
+                }
+            } else {
+                // Emulated wire latency: block the calling thread for
+                // real time proportional to the simulated latency, as a
+                // real RPC over this link would. Sub-20µs sleeps are
+                // skipped — the kernel timer floor would inflate them
+                // well past scale.
+                let ns = lat.as_micros().saturating_mul(scale);
+                if ns >= 20_000 {
+                    std::thread::sleep(std::time::Duration::from_nanos(ns));
+                }
             }
         }
         Ok(lat)
@@ -261,6 +280,11 @@ impl Fabric {
     /// even on a single core, exactly as it would against a real WAN.
     /// Sleeps that would round below ~20µs are skipped to stay clear of
     /// the kernel timer floor.
+    ///
+    /// With a scheduler attached ([`Fabric::attach_sim`]), the wait is a
+    /// sim-time event instead: the calling task parks for the message's
+    /// latency in *virtual* time and the run never sleeps for real —
+    /// latency-overlap scenarios execute at full speed.
     pub fn set_wire_emulation(&self, ns_per_sim_us: u64) {
         self.realtime_ns_per_sim_us
             .store(ns_per_sim_us, std::sync::atomic::Ordering::Relaxed);
@@ -306,6 +330,46 @@ impl Fabric {
         self.rng
     }
 
+    // --- discrete-event scheduling --------------------------------------
+
+    /// Attaches a discrete-event scheduler (which must drive this
+    /// fabric's clock). While attached, [`Fabric::wait`] parks the
+    /// calling sim task instead of advancing the clock directly, and
+    /// wire-emulation waits become scheduled events instead of real
+    /// `thread::sleep`s. The scoped-thread path is unaffected for
+    /// fabrics that never attach — the config switch is simply whether
+    /// a harness calls this.
+    pub fn attach_sim(&self, sim: crate::sim::SimHandle) {
+        *self.sim.write() = Some(sim);
+    }
+
+    /// Detaches the scheduler, restoring pure scoped-thread behaviour.
+    pub fn detach_sim(&self) {
+        *self.sim.write() = None;
+    }
+
+    /// The attached scheduler, if any.
+    pub fn sim(&self) -> Option<crate::sim::SimHandle> {
+        self.sim.read().clone()
+    }
+
+    /// Waits out `d` of simulated time in whichever way the current
+    /// execution mode calls for: a sim task parks on a scheduled wake
+    /// event (other tasks run meanwhile); everything else advances the
+    /// shared clock directly, exactly as the pre-sim backoff path did.
+    /// Either way the clock reads `now + d` when this returns, so retry
+    /// deadlines and reservation expiry behave identically under both
+    /// schedulers.
+    pub fn wait(&self, d: SimDuration) {
+        let sim = self.sim.read().clone();
+        match sim {
+            Some(s) if s.in_task() => s.sleep(d),
+            _ => {
+                self.clock.advance(d);
+            }
+        }
+    }
+
     /// Drives one reassessment tick on every host, in LOID order,
     /// advancing the clock by `dt` first (and firing any fault-plan
     /// events that have come due). Returns the number of RGE events
@@ -313,7 +377,15 @@ impl Fabric {
     /// "missed report" signal a Monitor watches for.
     pub fn tick_all_hosts(&self, dt: SimDuration) -> usize {
         let now = self.clock.advance(dt);
-        self.apply_due_faults(now);
+        self.fire_due_faults(now);
+        self.reassess_all(now)
+    }
+
+    /// Runs one reassessment pass over every registered host, in LOID
+    /// order, without touching the clock or the fault plan — the
+    /// tick-as-event form used by the sim harness, where the scheduler
+    /// owns time. Returns the number of RGE events raised.
+    pub fn reassess_all(&self, now: SimTime) -> usize {
         let hosts: Vec<Arc<dyn HostObject>> = self.hosts.read().values().cloned().collect();
         let mut events = 0;
         for h in hosts {
@@ -343,8 +415,10 @@ impl Fabric {
 
     /// Fires every installed fault event with `at <= now`, heals expired
     /// partitions and bursts, and rebuilds the topology from the base
-    /// plus the still-active effects.
-    fn apply_due_faults(&self, now: SimTime) {
+    /// plus the still-active effects. [`Fabric::tick_all_hosts`] calls
+    /// this as it advances the clock; the sim harness instead schedules
+    /// it as an event at each of the plan's [`FaultPlan::firing_times`].
+    pub fn fire_due_faults(&self, now: SimTime) {
         let mut chaos = self.chaos.lock();
         let Some(state) = chaos.as_mut() else { return };
         let mut network_dirty = false;

@@ -201,6 +201,27 @@ impl FaultPlan {
         self.events.sort_by_key(|e| e.at);
         self
     }
+
+    /// Every instant at which the installed plan changes fabric state:
+    /// each event's firing time plus each partition's `heal_at` and each
+    /// burst's `until`, sorted and deduplicated. The sim harness
+    /// schedules a [`crate::Fabric::fire_due_faults`] event at each so
+    /// injections and heals land at their exact virtual times instead of
+    /// being quantised to tick boundaries.
+    pub fn firing_times(&self) -> Vec<SimTime> {
+        let mut times: Vec<SimTime> = Vec::with_capacity(self.events.len() * 2);
+        for e in &self.events {
+            times.push(e.at);
+            match e.action {
+                FaultAction::Partition { heal_at, .. } => times.push(heal_at),
+                FaultAction::DegradeLinks { until, .. } => times.push(until),
+                _ => {}
+            }
+        }
+        times.sort();
+        times.dedup();
+        times
+    }
 }
 
 #[cfg(test)]

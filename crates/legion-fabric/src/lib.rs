@@ -21,6 +21,7 @@ pub mod faults;
 pub mod metrics;
 pub mod reconcile;
 pub mod rng;
+pub mod sim;
 
 pub use clock::VirtualClock;
 pub use domain::{Domain, DomainId, DomainTopology};
@@ -29,3 +30,4 @@ pub use faults::{FaultAction, FaultCounts, FaultEvent, FaultPlan};
 pub use metrics::{MetricsLedger, MetricsSnapshot};
 pub use reconcile::{reconcile_trace, reconciliation_report, Mismatch};
 pub use rng::DetRng;
+pub use sim::{SimError, SimHandle, SimRunStats};

@@ -1,0 +1,623 @@
+//! Deterministic discrete-event scheduler for whole-system simulation.
+//!
+//! The scoped-thread concurrency of PR 4 is honest but caps experiments
+//! at dozens of in-flight episodes: every concurrent message needs an OS
+//! thread, and timing-sensitive scenarios lean on wall-clock sleeps. This
+//! module supplies the GridSim-style substrate from ROADMAP item 2: a
+//! single event queue ordered by `(sim_time, seq)` where message latency,
+//! fault-plan firings, daemon ticks, and backoff sleeps are all *events*
+//! — latency becomes event reordering, not sleeping — so thousands of
+//! concurrent placement episodes run in milliseconds of real time.
+//!
+//! # Execution model
+//!
+//! A [`SimHandle`] owns the queue. Work comes in two shapes:
+//!
+//! * **Run events** ([`SimHandle::schedule_at`] / [`SimHandle::schedule_in`])
+//!   — plain closures executed on the control thread at their due time.
+//!   Daemon ticks, watchdog patrols and fault firings are Run events.
+//! * **Tasks** ([`SimHandle::spawn`]) — actor-style logical threads in
+//!   the datacake clock-actor idiom: one task owns its state, runs
+//!   straight-line code, and parks in [`SimHandle::sleep`], which turns
+//!   the wait into a scheduled wake event. A placement episode (schedule
+//!   → reserve → backoff → enact) is one task.
+//!
+//! Tasks are carried by real OS threads, but the scheduler enforces a
+//! **baton discipline**: at most one logical task (or the control loop)
+//! executes at any instant. The control loop pops the earliest event,
+//! advances the shared [`VirtualClock`] to its time, hands the baton to
+//! the woken task (or runs the closure inline), and waits for the baton
+//! back before popping the next event. Concurrency is therefore entirely
+//! *simulated* — interleavings are decided by the event queue, never by
+//! the OS — which is what makes runs bit-identical from one seed.
+//!
+//! # Determinism contract
+//!
+//! Two runs of the same scenario from the same seed produce the same
+//! event schedule, the same trace export, and the same ledger, byte for
+//! byte, provided the scenario (a) draws randomness only from
+//! [`crate::DetRng`] streams, (b) schedules the same events in the same
+//! order, and (c) rebases the global LOID counter through
+//! `Loid::replay_guard` when exact identifier strings matter. Ties at
+//! one instant fire in scheduling order (the `seq` tie-break).
+//!
+//! # Replay on failure
+//!
+//! Every event is appended to an in-memory schedule log. A panic inside
+//! a task or Run closure aborts the run and [`SimHandle::run`] returns a
+//! [`SimError`] carrying the formatted tail of that log — a failing seed
+//! reprints its event schedule, so the interleaving that broke is right
+//! in the test output. See `docs/simulation.md`.
+
+use crate::clock::VirtualClock;
+use legion_core::{SimDuration, SimTime};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Identifies a spawned task within one scheduler.
+type TaskId = u64;
+
+thread_local! {
+    /// `(core address, task id)` of the sim task carried by this thread,
+    /// if any. The core address keeps two coexisting schedulers from
+    /// mistaking each other's tasks for their own.
+    static CURRENT_TASK: Cell<Option<(usize, TaskId)>> = const { Cell::new(None) };
+}
+
+/// Panic payload used to unwind parked tasks during shutdown; carriers
+/// recognise it and exit quietly instead of reporting a failure.
+struct SimShutdown;
+
+/// An entry in the event queue.
+enum SimEvent {
+    /// Hand the baton to a parked (or not-yet-started) task.
+    Wake(TaskId),
+    /// Execute a closure on the control thread.
+    Run { label: String, f: Box<dyn FnOnce(&SimHandle) + Send> },
+}
+
+/// One line of the replayable schedule log.
+#[derive(Clone)]
+struct EventRecord {
+    seq: u64,
+    at: SimTime,
+    label: String,
+}
+
+struct TaskSlot {
+    label: String,
+    cv: Arc<Condvar>,
+    /// Set by the control loop when the baton is handed over; cleared by
+    /// the task as it resumes.
+    runnable: bool,
+}
+
+struct SimState {
+    queue: BTreeMap<(u64, u64), SimEvent>,
+    next_seq: u64,
+    next_task: TaskId,
+    /// The task currently holding the baton (`None` while the control
+    /// loop owns it).
+    active: Option<TaskId>,
+    tasks: BTreeMap<TaskId, TaskSlot>,
+    threads: Vec<JoinHandle<()>>,
+    log: Vec<EventRecord>,
+    failure: Option<String>,
+    shutdown: bool,
+    tasks_spawned: u64,
+}
+
+struct SimCore {
+    clock: Arc<VirtualClock>,
+    state: Mutex<SimState>,
+    /// Signalled when the baton returns to the control loop.
+    control_cv: Condvar,
+}
+
+/// Handle to a deterministic discrete-event scheduler (cheaply `Clone`).
+///
+/// Create one over a fabric's clock, attach it with
+/// [`crate::Fabric::attach_sim`], seed the queue with tasks and events,
+/// then drain it with [`SimHandle::run`].
+#[derive(Clone)]
+pub struct SimHandle {
+    core: Arc<SimCore>,
+}
+
+/// Summary of a completed simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimRunStats {
+    /// Events executed (wakes + closures).
+    pub events: u64,
+    /// Tasks spawned over the run's lifetime.
+    pub tasks: u64,
+    /// Virtual time when the queue drained.
+    pub end: SimTime,
+}
+
+/// A failed simulation run: the failure message plus the formatted tail
+/// of the event schedule that led to it, for seed replay.
+#[derive(Clone)]
+pub struct SimError {
+    /// The panic message from the failing task or closure.
+    pub message: String,
+    /// Human-readable tail of the event schedule (see
+    /// [`SimHandle::format_schedule`]).
+    pub schedule: String,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation failed: {}\nevent schedule (tail):\n{}", self.message, self.schedule)
+    }
+}
+
+impl fmt::Debug for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl SimHandle {
+    /// A fresh scheduler driving the given clock.
+    pub fn new(clock: Arc<VirtualClock>) -> Self {
+        SimHandle {
+            core: Arc::new(SimCore {
+                clock,
+                state: Mutex::new(SimState {
+                    queue: BTreeMap::new(),
+                    next_seq: 0,
+                    next_task: 1,
+                    active: None,
+                    tasks: BTreeMap::new(),
+                    threads: Vec::new(),
+                    log: Vec::new(),
+                    failure: None,
+                    shutdown: false,
+                    tasks_spawned: 0,
+                }),
+                control_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Current virtual time (the shared fabric clock).
+    pub fn now(&self) -> SimTime {
+        self.core.clock.now()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SimState> {
+        self.core.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Whether the calling thread is a task of *this* scheduler.
+    pub fn in_task(&self) -> bool {
+        let here = Arc::as_ptr(&self.core) as usize;
+        CURRENT_TASK.with(|c| c.get().is_some_and(|(core, _)| core == here))
+    }
+
+    fn enqueue(st: &mut SimState, at: SimTime, ev: SimEvent) {
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.queue.insert((at.as_micros(), seq), ev);
+    }
+
+    /// Schedules a closure to run on the control thread at `at` (clamped
+    /// to now if already past). Closures may schedule further events and
+    /// spawn tasks — a recurring tick is a closure that re-schedules
+    /// itself.
+    pub fn schedule_at(
+        &self,
+        at: SimTime,
+        label: impl Into<String>,
+        f: impl FnOnce(&SimHandle) + Send + 'static,
+    ) {
+        let at = at.max(self.now());
+        let mut st = self.lock();
+        Self::enqueue(&mut st, at, SimEvent::Run { label: label.into(), f: Box::new(f) });
+    }
+
+    /// Schedules a closure `delay` after now.
+    pub fn schedule_in(
+        &self,
+        delay: SimDuration,
+        label: impl Into<String>,
+        f: impl FnOnce(&SimHandle) + Send + 'static,
+    ) {
+        self.schedule_at(self.now() + delay, label, f);
+    }
+
+    /// Spawns a logical task. The task does not start immediately: its
+    /// first run is a wake event at the current virtual time, so spawn
+    /// order is part of the deterministic schedule. The closure runs
+    /// straight through, parking only in [`SimHandle::sleep`].
+    pub fn spawn(&self, label: impl Into<String>, f: impl FnOnce(&SimHandle) + Send + 'static) {
+        let label = label.into();
+        let now = self.now();
+        let handle = self.clone();
+        let core_addr = Arc::as_ptr(&self.core) as usize;
+        let mut st = self.lock();
+        assert!(!st.shutdown, "spawn on a finished scheduler");
+        let tid = st.next_task;
+        st.next_task += 1;
+        st.tasks_spawned += 1;
+        let cv = Arc::new(Condvar::new());
+        st.tasks.insert(tid, TaskSlot { label: label.clone(), cv: Arc::clone(&cv), runnable: false });
+        Self::enqueue(&mut st, now, SimEvent::Wake(tid));
+        let carrier = std::thread::Builder::new()
+            .name(format!("sim-{label}"))
+            .stack_size(512 * 1024)
+            .spawn(move || carrier_main(handle, core_addr, tid, f))
+            .expect("spawn sim carrier thread");
+        st.threads.push(carrier);
+    }
+
+    /// Parks the calling task for `d` of virtual time: enqueues a wake
+    /// event at `now + d`, returns the baton to the control loop, and
+    /// blocks until the wake event fires. Only callable from inside a
+    /// task spawned on this scheduler.
+    pub fn sleep(&self, d: SimDuration) {
+        let here = Arc::as_ptr(&self.core) as usize;
+        let tid = CURRENT_TASK.with(|c| c.get()).filter(|&(core, _)| core == here).map(|(_, t)| t);
+        let tid = tid.expect("SimHandle::sleep called outside a sim task");
+        let wake_at = self.now() + d;
+        let mut st = self.lock();
+        Self::enqueue(&mut st, wake_at, SimEvent::Wake(tid));
+        let cv = Arc::clone(&st.tasks[&tid].cv);
+        st.active = None;
+        self.core.control_cv.notify_one();
+        loop {
+            if st.shutdown {
+                // Unwind out of the task body; the carrier recognises the
+                // payload and exits quietly.
+                drop(st);
+                std::panic::panic_any(SimShutdown);
+            }
+            if st.tasks.get(&tid).map(|s| s.runnable) == Some(true) {
+                st.tasks.get_mut(&tid).unwrap().runnable = false;
+                return;
+            }
+            st = cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Drains the event queue, advancing the clock to each event's time
+    /// and executing it. Returns run statistics, or — if any task or
+    /// closure panicked — a [`SimError`] carrying the schedule tail.
+    /// All carrier threads are joined before this returns.
+    pub fn run(&self) -> Result<SimRunStats, SimError> {
+        let mut executed = 0u64;
+        let failure = loop {
+            let mut st = self.lock();
+            while st.active.is_some() && st.failure.is_none() {
+                st = self.core.control_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+            if let Some(msg) = st.failure.take() {
+                break Some(msg);
+            }
+            let Some((&key, _)) = st.queue.iter().next() else { break None };
+            let ev = st.queue.remove(&key).unwrap();
+            let at = SimTime(key.0);
+            let label = match &ev {
+                SimEvent::Wake(tid) => match st.tasks.get(tid) {
+                    Some(slot) => format!("wake:{}", slot.label),
+                    // The task finished before a pending wake fired (e.g.
+                    // it was also woken by an earlier event): drop it.
+                    None => {
+                        continue;
+                    }
+                },
+                SimEvent::Run { label, .. } => label.clone(),
+            };
+            st.log.push(EventRecord { seq: key.1, at, label });
+            executed += 1;
+            match ev {
+                SimEvent::Wake(tid) => {
+                    st.active = Some(tid);
+                    let slot = st.tasks.get_mut(&tid).unwrap();
+                    slot.runnable = true;
+                    let cv = Arc::clone(&slot.cv);
+                    drop(st);
+                    self.core.clock.advance_to(at);
+                    cv.notify_one();
+                    // Baton comes back at the top of the loop (active
+                    // cleared by the task's next sleep or its exit).
+                }
+                SimEvent::Run { f, .. } => {
+                    drop(st);
+                    self.core.clock.advance_to(at);
+                    let h = self.clone();
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&h))) {
+                        let mut st = self.lock();
+                        st.failure = Some(panic_message(payload.as_ref()));
+                    }
+                }
+            }
+        };
+
+        // Shut down: unwind any still-parked tasks and join every carrier.
+        let threads = {
+            let mut st = self.lock();
+            st.shutdown = true;
+            for slot in st.tasks.values() {
+                slot.cv.notify_one();
+            }
+            std::mem::take(&mut st.threads)
+        };
+        for t in threads {
+            let _ = t.join();
+        }
+
+        let mut st = self.lock();
+        // A task may have recorded a failure while we were shutting down.
+        let failure = failure.or_else(|| st.failure.take());
+        match failure {
+            Some(message) => {
+                let schedule = format_schedule_locked(&st, 40);
+                Err(SimError { message, schedule })
+            }
+            None => {
+                let stats =
+                    SimRunStats { events: executed, tasks: st.tasks_spawned, end: self.now() };
+                // Allow the scheduler to be reused for a follow-up phase.
+                st.shutdown = false;
+                Ok(stats)
+            }
+        }
+    }
+
+    /// Formats the last `tail` entries of the executed event schedule —
+    /// the replay transcript printed when a seeded run fails.
+    pub fn format_schedule(&self, tail: usize) -> String {
+        format_schedule_locked(&self.lock(), tail)
+    }
+
+    /// Number of events executed so far (schedule log length).
+    pub fn events_executed(&self) -> usize {
+        self.lock().log.len()
+    }
+}
+
+fn format_schedule_locked(st: &SimState, tail: usize) -> String {
+    let skip = st.log.len().saturating_sub(tail);
+    let mut out = String::new();
+    if skip > 0 {
+        out.push_str(&format!("  … {skip} earlier events elided …\n"));
+    }
+    for rec in &st.log[skip..] {
+        out.push_str(&format!("  [{:>12}µs #{:<6}] {}\n", rec.at.as_micros(), rec.seq, rec.label));
+    }
+    out
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked (non-string payload)".to_string()
+    }
+}
+
+/// Body of a task's carrier thread: park until the first wake, run the
+/// task closure under `catch_unwind`, then return the baton and retire
+/// the task slot.
+fn carrier_main(
+    handle: SimHandle,
+    core_addr: usize,
+    tid: TaskId,
+    f: impl FnOnce(&SimHandle) + Send,
+) {
+    CURRENT_TASK.with(|c| c.set(Some((core_addr, tid))));
+    {
+        let mut st = handle.lock();
+        loop {
+            if st.shutdown {
+                // Never started: retire quietly without touching the baton.
+                st.tasks.remove(&tid);
+                return;
+            }
+            if st.tasks.get(&tid).map(|s| s.runnable) == Some(true) {
+                st.tasks.get_mut(&tid).unwrap().runnable = false;
+                break;
+            }
+            let cv = Arc::clone(&st.tasks[&tid].cv);
+            st = cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    let result = catch_unwind(AssertUnwindSafe(|| f(&handle)));
+
+    let mut st = handle.lock();
+    if let Err(payload) = result {
+        if !payload.is::<SimShutdown>() {
+            let label = st.tasks.get(&tid).map(|s| s.label.clone()).unwrap_or_default();
+            st.failure = Some(format!("task `{label}`: {}", panic_message(payload.as_ref())));
+        }
+    }
+    st.tasks.remove(&tid);
+    st.active = None;
+    handle.core.control_cv.notify_one();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> SimHandle {
+        SimHandle::new(Arc::new(VirtualClock::new()))
+    }
+
+    #[test]
+    fn events_fire_in_time_then_seq_order() {
+        let h = sim();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (at, tag) in [(30, "c"), (10, "a"), (10, "b"), (20, "z")] {
+            let order = Arc::clone(&order);
+            h.schedule_at(SimTime::from_micros(at), tag, move |hh| {
+                order.lock().unwrap().push((hh.now().as_micros(), tag));
+            });
+        }
+        let stats = h.run().unwrap();
+        assert_eq!(stats.events, 4);
+        assert_eq!(stats.end, SimTime::from_micros(30));
+        // Same instant → scheduling order ("a" before "b": both at 10µs).
+        assert_eq!(*order.lock().unwrap(), vec![(10, "a"), (10, "b"), (20, "z"), (30, "c")]);
+    }
+
+    #[test]
+    fn task_sleep_advances_virtual_time_only() {
+        let h = sim();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        h.spawn("sleeper", move |hh| {
+            s.lock().unwrap().push(hh.now());
+            hh.sleep(SimDuration::from_secs(3600));
+            s.lock().unwrap().push(hh.now());
+        });
+        let wall = std::time::Instant::now();
+        h.run().unwrap();
+        assert!(wall.elapsed() < std::time::Duration::from_secs(2), "sleep must be simulated");
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![SimTime::ZERO, SimTime::from_secs(3600)],
+            "one hour of virtual time passed"
+        );
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        // Two tasks ping-ponging through staggered sleeps interleave by
+        // wake time, not by OS scheduling.
+        let run = || {
+            let h = sim();
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for (name, start, step) in [("a", 0u64, 10u64), ("b", 5, 10)] {
+                let log = Arc::clone(&log);
+                h.spawn(name, move |hh| {
+                    hh.sleep(SimDuration::from_micros(start));
+                    for i in 0..5 {
+                        log.lock().unwrap().push(format!("{name}{i}@{}", hh.now().as_micros()));
+                        hh.sleep(SimDuration::from_micros(step));
+                    }
+                });
+            }
+            h.run().unwrap();
+            Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+        };
+        let first = run();
+        assert_eq!(first, run(), "same schedule every run");
+        assert_eq!(first[0], "a0@0");
+        assert_eq!(first[1], "b0@5");
+    }
+
+    #[test]
+    fn run_closures_can_reschedule_themselves() {
+        let h = sim();
+        let count = Arc::new(Mutex::new(0u32));
+        fn tick(hh: &SimHandle, count: Arc<Mutex<u32>>) {
+            *count.lock().unwrap() += 1;
+            if hh.now() < SimTime::from_secs(10) {
+                let c = Arc::clone(&count);
+                hh.schedule_in(SimDuration::from_secs(1), "tick", move |hh| tick(hh, c));
+            }
+        }
+        let c = Arc::clone(&count);
+        h.schedule_at(SimTime::from_secs(1), "tick", move |hh| tick(hh, c));
+        h.run().unwrap();
+        assert_eq!(*count.lock().unwrap(), 10);
+    }
+
+    #[test]
+    fn failing_task_reports_schedule_tail() {
+        let h = sim();
+        h.schedule_at(SimTime::from_micros(5), "benign", |_| {});
+        h.spawn("doomed", |hh| {
+            hh.sleep(SimDuration::from_micros(10));
+            panic!("injected failure at {now}", now = hh.now());
+        });
+        h.spawn("parked-forever", |hh| {
+            // Still asleep when the failure aborts the run; shutdown must
+            // unwind it rather than leak the carrier thread.
+            hh.sleep(SimDuration::from_secs(1_000_000));
+        });
+        let err = h.run().unwrap_err();
+        assert!(err.message.contains("injected failure"), "{}", err.message);
+        assert!(err.message.contains("doomed"), "{}", err.message);
+        assert!(err.schedule.contains("wake:doomed"), "schedule:\n{}", err.schedule);
+    }
+
+    #[test]
+    fn failing_closure_reports_too() {
+        let h = sim();
+        h.schedule_at(SimTime::from_micros(1), "boom", |_| panic!("closure exploded"));
+        let err = h.run().unwrap_err();
+        assert!(err.message.contains("closure exploded"));
+        assert!(err.schedule.contains("boom"), "schedule:\n{}", err.schedule);
+    }
+
+    #[test]
+    fn spawned_tasks_run_in_spawn_order_at_same_instant() {
+        let h = sim();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for name in ["first", "second", "third"] {
+            let order = Arc::clone(&order);
+            h.spawn(name, move |_| order.lock().unwrap().push(name));
+        }
+        h.run().unwrap();
+        assert_eq!(*order.lock().unwrap(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn in_task_distinguishes_contexts() {
+        let h = sim();
+        assert!(!h.in_task(), "control context is not a task");
+        let flag = Arc::new(Mutex::new((false, true)));
+        let fl = Arc::clone(&flag);
+        h.spawn("prober", move |hh| {
+            fl.lock().unwrap().0 = hh.in_task();
+        });
+        let fl = Arc::clone(&flag);
+        h.schedule_at(SimTime::from_micros(1), "closure-probe", move |hh| {
+            fl.lock().unwrap().1 = hh.in_task();
+        });
+        h.run().unwrap();
+        let (task_saw, closure_saw) = *flag.lock().unwrap();
+        assert!(task_saw, "task context must report in_task");
+        assert!(!closure_saw, "control-thread closure must not");
+    }
+
+    #[test]
+    fn scheduler_is_reusable_after_a_clean_run() {
+        let h = sim();
+        h.schedule_at(SimTime::from_micros(1), "one", |_| {});
+        h.run().unwrap();
+        let again = Arc::new(Mutex::new(false));
+        let a = Arc::clone(&again);
+        h.spawn("two", move |_| *a.lock().unwrap() = true);
+        h.run().unwrap();
+        assert!(*again.lock().unwrap());
+    }
+
+    #[test]
+    fn ten_thousand_tasks_complete_quickly() {
+        let h = sim();
+        let done = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        for i in 0..10_000u64 {
+            let done = Arc::clone(&done);
+            h.spawn(format!("ep-{i}"), move |hh| {
+                hh.sleep(SimDuration::from_micros(i % 97));
+                done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+        let stats = h.run().unwrap();
+        assert_eq!(done.load(std::sync::atomic::Ordering::Relaxed), 10_000);
+        assert_eq!(stats.tasks, 10_000);
+    }
+}

@@ -436,7 +436,11 @@ impl Enactor {
                 let backoff_span = self.fabric.tracer().span(SpanKind::Backoff);
                 backoff_span.attr("delay_us", delay.as_micros() as i64);
                 backoff_span.attr("attempt", attempts as i64);
-                self.fabric.clock().advance(delay);
+                // Under the discrete-event scheduler this parks the
+                // episode's task on a wake event — other episodes run
+                // during the backoff; the thread path advances the
+                // shared clock directly as before.
+                self.fabric.wait(delay);
                 backoff_span.end_ok();
                 MetricsLedger::bump(&self.metrics().enactor_backoffs);
                 backoff = SimDuration::from_micros(

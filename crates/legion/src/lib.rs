@@ -103,7 +103,10 @@ pub mod trace {
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use legion_apps::{Testbed, TestbedConfig};
+    pub use legion_apps::{
+        run_chaos_soak, run_rebalance_sim, seed_sweep, SimRebalanceReport, SimSoakConfig,
+        SimSoakReport, Testbed, TestbedConfig,
+    };
     pub use legion_collection::{Collection, DataCollectionDaemon, FederatedCollection};
     pub use legion_core::{
         AttrValue, AttributeDb, ClassObject, HostObject, LegionClass, LegionError, Loid,
@@ -111,7 +114,8 @@ pub mod prelude {
         ReservationType, SimDuration, SimTime, VaultObject,
     };
     pub use legion_fabric::{
-        DomainId, DomainTopology, Fabric, FaultAction, FaultCounts, FaultPlan,
+        DomainId, DomainTopology, Fabric, FaultAction, FaultCounts, FaultPlan, SimError,
+        SimHandle, SimRunStats,
     };
     pub use legion_hosts::{BatchQueueHost, HostConfig, StandardHost};
     pub use legion_monitor::{

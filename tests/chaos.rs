@@ -13,6 +13,11 @@
 //!
 //! Everything derives from `SEED`; every assertion message carries it so
 //! a failure is reproducible by reading the log.
+//!
+//! All loop bounds here are pure sim-time horizons, not tick counts, so
+//! the scenario is scheduler-agnostic: the same soak runs as discrete
+//! events (and as a 32-seed sweep in under a minute) in
+//! `tests/sim_determinism.rs` via `legion::prelude::run_chaos_soak`.
 
 use legion::fabric::{FaultAction, FaultPlan};
 use legion::monitor::Watchdog;
@@ -77,10 +82,16 @@ fn chaos_soak_under_crashes_and_partitions() {
     let mut pending = 0u64;
     let mut recoveries = 0usize;
 
-    // 240 ticks of 30s (2h) under fire, then a short calm drain so
-    // requests submitted near the end get their retries too.
-    for tick in 0..260 {
-        let arrivals = if tick < 240 && rng.gen_bool(0.6) { 1 } else { 0 };
+    // Two hours of 30s maintenance rounds under fire, then a short calm
+    // drain so requests submitted near the end get their retries too.
+    // Both bounds are virtual-time horizons: how many rounds it takes to
+    // reach them is the clock's business, not the test's.
+    let round = SimDuration::from_secs(30);
+    let fire_until = SimTime::from_secs(7200);
+    let drain_until = SimTime::from_secs(7800);
+    while tb.fabric.clock().now() < drain_until {
+        let arriving = tb.fabric.clock().now() < fire_until;
+        let arrivals = if arriving && rng.gen_bool(0.6) { 1 } else { 0 };
         submitted += arrivals;
         pending += arrivals;
 
@@ -108,7 +119,7 @@ fn chaos_soak_under_crashes_and_partitions() {
 
         // Advance time: fires due faults, reassesses hosts, refreshes
         // the Collection (crashed hosts answer no pulls)...
-        tb.tick(SimDuration::from_secs(30));
+        tb.tick(round);
         let now = tb.fabric.clock().now();
         // ...then the Monitor side: restart-from-OPR and record TTL
         // eviction so dead hosts stop matching scheduler queries.
@@ -122,7 +133,7 @@ fn chaos_soak_under_crashes_and_partitions() {
                 .attributes()
                 .get_i64(legion::core::host::well_known::FREE_MEMORY_MB)
                 .unwrap();
-            assert!(free >= 0, "host over-committed at tick {tick} (seed={SEED:#x})");
+            assert!(free >= 0, "host over-committed at {now} (seed={SEED:#x})");
         }
     }
 
@@ -206,11 +217,13 @@ fn every_injected_fault_leaves_a_matching_trace_event() {
     let expected = plan.counts();
     tb.fabric.install_fault_plan(plan);
 
-    // Tick past the crash; two patrols at 2 allowed misses declare the
-    // host dead and restart its objects from their OPRs.
+    // Advance past the crash in pure sim-time; two patrols at 2 allowed
+    // misses declare the host dead and restart its objects from their
+    // OPRs.
+    let probe = SimDuration::from_secs(60);
     let dog = Watchdog::new(tb.fabric.clone(), 2);
-    for _ in 0..3 {
-        tb.tick(SimDuration::from_secs(60));
+    while tb.fabric.clock().now() < SimTime::from_secs(180) {
+        tb.tick(probe);
         dog.patrol(tb.fabric.clock().now());
     }
 
@@ -231,9 +244,9 @@ fn every_injected_fault_leaves_a_matching_trace_event() {
         .count();
     assert!(hostdown >= 1, "no HostDown reservation span recorded (seed={SEED:#x})");
 
-    // Tick past the scripted restart so the fault plan drains.
-    for _ in 0..8 {
-        tb.tick(SimDuration::from_secs(60));
+    // Advance past the scripted restart so the fault plan drains.
+    while tb.fabric.clock().now() < SimTime::from_secs(660) {
+        tb.tick(probe);
         dog.patrol(tb.fabric.clock().now());
     }
 
@@ -296,7 +309,8 @@ fn chaos_run_is_reproducible() {
             })
             .collect();
         tb.fabric.install_fault_plan(plan);
-        for _ in 0..30 {
+        // Run out the plan's 600s horizon with slack, in pure sim-time.
+        while tb.fabric.clock().now() < SimTime::from_secs(900) {
             tb.tick(SimDuration::from_secs(30));
         }
         let m = tb.fabric.metrics().snapshot();

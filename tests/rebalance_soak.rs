@@ -17,6 +17,11 @@
 //! * zero objects lost or duplicated — each of the ten has exactly one
 //!   live instance at the end, where its Class says it is;
 //! * the stale-TTL path actually engaged during the partition.
+//!
+//! The sweep loop is bounded by a pure sim-time horizon, not a tick
+//! count, so the scenario is scheduler-agnostic: the same soak runs as
+//! discrete events in `tests/sim_determinism.rs` via
+//! `legion::prelude::run_rebalance_sim`.
 
 use legion::core::{EpisodeId, ObjectSpec};
 use legion::fabric::{FaultAction, FaultPlan};
@@ -87,8 +92,13 @@ fn skewed_load_converges_under_chaos() {
 
     let mut reports: Vec<SweepReport> = Vec::new();
     let mut first_converged: Option<usize> = None;
-    for sweep_no in 0..90 {
-        tb.tick(SimDuration::from_secs(30));
+    // Sweep every 30s of virtual time until the 2700s horizon — chaos
+    // window plus a quiet tail — however many sweeps that takes.
+    let period = SimDuration::from_secs(30);
+    let horizon = SimTime::from_secs(2700);
+    while tb.fabric.clock().now() < horizon {
+        let sweep_no = reports.len();
+        tb.tick(period);
         let now = tb.fabric.clock().now();
         dog.patrol(now);
         let report = rb.sweep(now);
@@ -155,7 +165,7 @@ fn skewed_load_converges_under_chaos() {
     let stale_seen: usize = reports.iter().map(|r| r.stale_records).sum();
     assert!(stale_seen > 0, "partition never staled a record (seed={SEED:#x})");
     let m = tb.fabric.metrics().snapshot();
-    assert_eq!(m.rebalance_sweeps, 90, "sweep count (seed={SEED:#x})");
+    assert_eq!(m.rebalance_sweeps as usize, reports.len(), "sweep count (seed={SEED:#x})");
     assert!(m.monitor_restarts > 0, "watchdog never restarted (seed={SEED:#x})");
 
     // Every sweep is one traced episode with the four stages in time
@@ -166,7 +176,7 @@ fn skewed_load_converges_under_chaos() {
         .filter(|(_, label)| label == "rebalance")
         .map(|&(id, _)| id)
         .collect();
-    assert_eq!(rebalance_eps.len(), 90, "one episode per sweep (seed={SEED:#x})");
+    assert_eq!(rebalance_eps.len(), reports.len(), "one episode per sweep (seed={SEED:#x})");
     let mut saw_migrate_stage = false;
     for (i, &ep) in rebalance_eps.iter().enumerate() {
         let spans = sink.episode_spans(ep);
