@@ -23,8 +23,9 @@ pub mod testbed;
 
 pub use apps::{BagOfTasks, PipelineApp, StencilApp};
 pub use sim::{
-    run_chaos_soak, run_rebalance_sim, schedule_fault_plan, seed_sweep, SimRebalanceReport,
-    SimSoakConfig, SimSoakReport,
+    run_chaos_soak, run_ingress_sim, run_rebalance_sim, schedule_fault_plan, seed_sweep,
+    ArrivalProcess, IngressSimConfig, IngressSimReport, SimRebalanceReport, SimSoakConfig,
+    SimSoakReport, TenantOutcome, TenantSpec,
 };
 pub use table::Table;
 pub use testbed::{LoadRegime, Testbed, TestbedConfig};

@@ -442,21 +442,392 @@ pub fn run_rebalance_sim(seed: u64, sweeps: usize) -> Result<SimRebalanceReport,
     })
 }
 
-/// Runs `scenario` once per seed; if any run fails, panics with the
-/// failing seed *and* that run's event-schedule tail so the failure is
-/// reproducible from the log alone. Returns the per-seed results.
+/// One tenant's synthetic arrival process for [`run_ingress_sim`].
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: exponential inter-arrival gaps with the given
+    /// mean (the open-system default).
+    Poisson {
+        /// Mean gap between arrivals.
+        mean_gap: SimDuration,
+    },
+    /// Heavy-tailed (Pareto) gaps: mostly `min_gap`-spaced bursts with
+    /// occasional long silences; smaller `alpha` means heavier tail
+    /// (`alpha <= 1` has no finite mean). The bursts are what stress
+    /// the token buckets.
+    Pareto {
+        /// Minimum (and modal) gap between arrivals.
+        min_gap: SimDuration,
+        /// Tail exponent; 1.5 is a reasonable bursty default.
+        alpha: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Draws the next inter-arrival gap. Gaps are clamped to
+    /// `[1µs, 4096 × scale]` so one extreme Pareto draw cannot silence
+    /// a tenant for the whole horizon (or overflow virtual time).
+    fn draw_gap(&self, rng: &mut rand::rngs::SmallRng) -> SimDuration {
+        use rand::Rng;
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let (scale_us, gap) = match *self {
+            ArrivalProcess::Poisson { mean_gap } => {
+                (mean_gap.as_micros(), -(1.0 - u).ln() * mean_gap.as_micros() as f64)
+            }
+            ArrivalProcess::Pareto { min_gap, alpha } => (
+                min_gap.as_micros(),
+                min_gap.as_micros() as f64 * (1.0 - u).powf(-1.0 / alpha.max(0.1)),
+            ),
+        };
+        let capped = gap.min(scale_us as f64 * 4096.0).max(1.0);
+        SimDuration::from_micros(capped as u64)
+    }
+}
+
+/// One tenant in an [`IngressSimConfig`].
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Registered name.
+    pub name: String,
+    /// Priority class (sets its fair-use policy at the door).
+    pub class: legion_ingress::PriorityClass,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+}
+
+impl TenantSpec {
+    /// A Poisson tenant.
+    pub fn poisson(
+        name: impl Into<String>,
+        class: legion_ingress::PriorityClass,
+        mean_gap: SimDuration,
+    ) -> Self {
+        TenantSpec { name: name.into(), class, arrivals: ArrivalProcess::Poisson { mean_gap } }
+    }
+
+    /// A heavy-tailed tenant.
+    pub fn pareto(
+        name: impl Into<String>,
+        class: legion_ingress::PriorityClass,
+        min_gap: SimDuration,
+        alpha: f64,
+    ) -> Self {
+        TenantSpec { name: name.into(), class, arrivals: ArrivalProcess::Pareto { min_gap, alpha } }
+    }
+}
+
+/// Shape of a [`run_ingress_sim`] scenario: an open-loop multi-tenant
+/// workload hammering a [`FrontDoor`](legion_ingress::FrontDoor).
+/// Everything derives from `seed`.
+#[derive(Debug, Clone)]
+pub struct IngressSimConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Administrative domains in the bed.
+    pub domains: usize,
+    /// Unix hosts per domain.
+    pub hosts_per_domain: usize,
+    /// The tenant population.
+    pub tenants: Vec<TenantSpec>,
+    /// Arrivals are generated in `[0, horizon)` of virtual time.
+    pub horizon: SimDuration,
+    /// Maintenance tick period (reassess, Collection pull, grant
+    /// expiry sweep).
+    pub tick: SimDuration,
+    /// How long a placed object dwells before the tenant departs.
+    pub dwell: SimDuration,
+    /// Front-door policy.
+    pub ingress: legion_ingress::IngressConfig,
+    /// Crash/restart churn events (0 = calm).
+    pub chaos_crashes: usize,
+    /// How long each crashed host stays down.
+    pub crash_down_for: SimDuration,
+    /// Capture trace JSON (required for per-class latency rollups).
+    pub trace: bool,
+}
+
+impl Default for IngressSimConfig {
+    fn default() -> Self {
+        use legion_ingress::PriorityClass::{BestEffort, Interactive, Production};
+        IngressSimConfig {
+            seed: 0xD004_5EED,
+            domains: 2,
+            hosts_per_domain: 4,
+            tenants: vec![
+                TenantSpec::poisson("alice", Interactive, SimDuration::from_secs(2)),
+                TenantSpec::poisson("bob", Interactive, SimDuration::from_secs(2)),
+                TenantSpec::poisson("carol", Production, SimDuration::from_secs(4)),
+                TenantSpec::pareto("dave", Production, SimDuration::from_secs(2), 1.5),
+                TenantSpec::pareto("erin", BestEffort, SimDuration::from_secs(1), 1.3),
+                TenantSpec::poisson("frank", BestEffort, SimDuration::from_secs(8)),
+            ],
+            horizon: SimDuration::from_secs(1800),
+            tick: SimDuration::from_secs(30),
+            dwell: SimDuration::from_secs(90),
+            ingress: legion_ingress::IngressConfig::default(),
+            chaos_crashes: 0,
+            crash_down_for: SimDuration::from_secs(240),
+            trace: true,
+        }
+    }
+}
+
+impl IngressSimConfig {
+    /// The default scenario at a given seed.
+    pub fn seeded(seed: u64) -> Self {
+        IngressSimConfig { seed, ..Default::default() }
+    }
+
+    /// Scales every tenant's arrival *rate* by `scale` (gaps divide by
+    /// it) — the knob an arrival-rate sweep turns. `scale > 1` means
+    /// more load.
+    pub fn rate_scaled(mut self, scale: f64) -> Self {
+        let scale = scale.max(1e-6);
+        for t in &mut self.tenants {
+            t.arrivals = match t.arrivals {
+                ArrivalProcess::Poisson { mean_gap } => ArrivalProcess::Poisson {
+                    mean_gap: SimDuration::from_micros(
+                        ((mean_gap.as_micros() as f64 / scale) as u64).max(1),
+                    ),
+                },
+                ArrivalProcess::Pareto { min_gap, alpha } => ArrivalProcess::Pareto {
+                    min_gap: SimDuration::from_micros(
+                        ((min_gap.as_micros() as f64 / scale) as u64).max(1),
+                    ),
+                    alpha,
+                },
+            };
+        }
+        self
+    }
+}
+
+/// One tenant's outcome in an [`IngressSimReport`].
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    /// Registered name.
+    pub name: String,
+    /// Priority class.
+    pub class: legion_ingress::PriorityClass,
+    /// Admission accounting.
+    pub stats: legion_ingress::TenantStats,
+}
+
+/// Outcome of a [`run_ingress_sim`] scenario.
+#[derive(Debug, Clone)]
+pub struct IngressSimReport {
+    /// Per-tenant outcomes, in registration order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Per-priority-class trace rollups (index =
+    /// [`PriorityClass::index`](legion_ingress::PriorityClass::index));
+    /// `histogram(SpanKind::Episode)` is the placement-latency
+    /// distribution the admission bench publishes. Empty when tracing
+    /// was off.
+    pub class_rollups: Vec<legion_trace::TraceRollup>,
+    /// Per-class goodput fairness (max/min completed across the
+    /// class's tenants; `None` for classes with fewer than 2 tenants).
+    pub fairness: Vec<(legion_ingress::PriorityClass, Option<f64>)>,
+    /// Planned fault totals.
+    pub fault_counts: FaultCounts,
+    /// Final ledger snapshot.
+    pub metrics: MetricsSnapshot,
+    /// `legion-trace/v1` export, when tracing was requested.
+    pub trace_json: Option<String>,
+    /// Scheduler statistics for the run.
+    pub stats: legion_fabric::SimRunStats,
+}
+
+impl IngressSimReport {
+    /// The worst (largest) finite per-class fairness ratio — the
+    /// single-number fairness headline. `None` when no class had two
+    /// tenants, or some tenant was starved to zero (infinite ratio).
+    pub fn worst_fairness(&self) -> Option<f64> {
+        let mut worst: Option<f64> = None;
+        for (_, r) in &self.fairness {
+            match r {
+                Some(r) if r.is_finite() => {
+                    worst = Some(worst.map_or(*r, |w: f64| w.max(*r)));
+                }
+                Some(_) => return None,
+                None => {}
+            }
+        }
+        worst
+    }
+}
+
+/// Runs the multi-tenant front-door scenario as a discrete-event
+/// simulation: every tenant is an open-loop arrival stream (Poisson or
+/// heavy-tailed, drawn from its own deterministic RNG stream), every
+/// arrival a sim task that submits one placement through the
+/// [`FrontDoor`](legion_ingress::FrontDoor), dwells on success, and
+/// departs. Admission rejections are *typed* and counted per tenant;
+/// nothing retries, so the door's fair-use policy is the only thing
+/// shaping who gets through.
+pub fn run_ingress_sim(cfg: &IngressSimConfig) -> Result<IngressSimReport, SimError> {
+    use legion_ingress::{FrontDoor, PriorityClass};
+
+    let tb = Testbed::build(TestbedConfig::wide(cfg.domains, cfg.hosts_per_domain, cfg.seed));
+    let class = tb.register_class("svc-app", 20, 48);
+    let sink = cfg.trace.then(|| tb.fabric.enable_tracing());
+    let sim = SimHandle::new(Arc::clone(tb.fabric.clock()));
+    tb.fabric.attach_sim(sim.clone());
+    tb.fabric.set_wire_emulation(1);
+
+    let mut plan = FaultPlan::new();
+    if cfg.chaos_crashes > 0 {
+        let plan_horizon = SimDuration::from_micros(cfg.horizon.as_micros() * 5 / 6);
+        plan = plan.merge(FaultPlan::random_churn(
+            &tb.fabric.rng(),
+            &tb.host_loids,
+            plan_horizon,
+            cfg.chaos_crashes,
+            cfg.crash_down_for,
+        ));
+    }
+    let fault_counts = plan.counts();
+    schedule_fault_plan(&sim, &tb.fabric, plan);
+
+    let scheduler: Arc<dyn Scheduler> = Arc::new(LoadAwareScheduler::new());
+    let enactor = Arc::new(Enactor::with_config(
+        tb.fabric.clone(),
+        EnactorConfig { deadline: Some(SimDuration::from_secs(45)), ..Default::default() },
+    ));
+    let door = Arc::new(FrontDoor::new(
+        SchedCtx::new(Arc::clone(&tb.fabric), Arc::clone(&tb.collection)),
+        Arc::clone(&scheduler),
+        Arc::clone(&enactor),
+        tb.vault_loids[0],
+        cfg.ingress,
+    ));
+    let class_obj = tb.fabric.lookup_class(class).expect("registered class");
+
+    // Pre-draw every tenant's arrival times from its own RNG stream:
+    // the schedule is a pure function of (seed, tenant index, process),
+    // independent of event interleaving.
+    let mut specs = Vec::new();
+    for (ti, spec) in cfg.tenants.iter().enumerate() {
+        let tenant = door.register_tenant(spec.name.clone(), spec.class);
+        let mut rng = tb.fabric.rng().stream_indexed("ingress-arrivals", ti as u64);
+        let mut at = SimTime::ZERO + spec.arrivals.draw_gap(&mut rng);
+        let mut arrivals = Vec::new();
+        while at < SimTime::ZERO + cfg.horizon && arrivals.len() < 100_000 {
+            arrivals.push(at);
+            at += spec.arrivals.draw_gap(&mut rng);
+        }
+        specs.push((tenant, arrivals));
+    }
+
+    for (tenant, arrivals) in &specs {
+        let tenant = *tenant;
+        for (ai, &at) in arrivals.iter().enumerate() {
+            let door = Arc::clone(&door);
+            let class_obj = Arc::clone(&class_obj);
+            let fabric = Arc::clone(&tb.fabric);
+            let dwell = cfg.dwell;
+            sim.schedule_at(at, format!("arrive:t{}-{ai}", tenant.index()), move |h| {
+                h.spawn(format!("t{}-{ai}", tenant.index()), move |h| {
+                    let request = PlacementRequest::new().class(class, 1);
+                    if let Ok(report) = door.submit(tenant, &request) {
+                        let obj = report.placed[0].1;
+                        h.sleep(dwell);
+                        let _ = class_obj.destroy_instance(obj, &*fabric);
+                    }
+                });
+            });
+        }
+    }
+
+    // Maintenance ticks: host reassessment, Collection refresh, and the
+    // grant-expiry sweep (front doors in production would run the same
+    // loop off a timer).
+    struct IngressTicker {
+        tb: Testbed,
+        door: Arc<legion_ingress::FrontDoor>,
+        tick: SimDuration,
+        horizon: SimTime,
+    }
+    fn schedule_ingress_ticks(sim: &SimHandle, t: Arc<IngressTicker>, at: SimTime) {
+        sim.schedule_at(at, "tick", move |h| {
+            let now = h.now();
+            t.tb.fabric.reassess_all(now);
+            t.tb.daemon.pull_once(now);
+            t.door.expire_due_grants();
+            if now + t.tick <= t.horizon {
+                let next = now + t.tick;
+                schedule_ingress_ticks(h, Arc::clone(&t), next);
+            }
+        });
+    }
+    let ticker = Arc::new(IngressTicker {
+        tb,
+        door: Arc::clone(&door),
+        tick: cfg.tick,
+        horizon: SimTime::ZERO + cfg.horizon,
+    });
+    schedule_ingress_ticks(&sim, Arc::clone(&ticker), SimTime::ZERO + cfg.tick);
+
+    let stats = sim.run()?;
+    ticker.tb.fabric.detach_sim();
+
+    let tenants = cfg
+        .tenants
+        .iter()
+        .zip(&specs)
+        .map(|(spec, (tenant, _))| TenantOutcome {
+            name: spec.name.clone(),
+            class: spec.class,
+            stats: door.stats(*tenant).expect("registered tenant"),
+        })
+        .collect();
+    let class_rollups =
+        if cfg.trace { door.class_rollups() } else { Vec::new() };
+    let fairness = PriorityClass::ALL
+        .iter()
+        .map(|&c| (c, door.fairness_ratio(c)))
+        .collect();
+
+    Ok(IngressSimReport {
+        tenants,
+        class_rollups,
+        fairness,
+        fault_counts,
+        metrics: ticker.tb.fabric.metrics().snapshot(),
+        trace_json: sink.as_ref().map(|s| legion_trace::trace_json(s)),
+        stats,
+    })
+}
+
+/// Runs `scenario` once per seed. Unlike a plain loop, the sweep does
+/// **not** stop at the first failure: every seed runs, and if any
+/// failed the panic lists *all* failing seeds (with the first failure's
+/// event-schedule tail), so one CI run reports the full failing set
+/// instead of revealing them one fix at a time. Returns the per-seed
+/// results on success.
 pub fn seed_sweep<R>(
     seeds: impl IntoIterator<Item = u64>,
     mut scenario: impl FnMut(u64) -> Result<R, SimError>,
 ) -> Vec<(u64, R)> {
-    seeds
-        .into_iter()
-        .map(|seed| match scenario(seed) {
-            Ok(r) => (seed, r),
-            Err(e) => panic!(
-                "seed {seed:#x} failed: {}\nreproduce with this seed; its event schedule was:\n{}",
-                e.message, e.schedule
-            ),
-        })
-        .collect()
+    let mut ok = Vec::new();
+    let mut failures: Vec<(u64, SimError)> = Vec::new();
+    for seed in seeds {
+        match scenario(seed) {
+            Ok(r) => ok.push((seed, r)),
+            Err(e) => failures.push((seed, e)),
+        }
+    }
+    if !failures.is_empty() {
+        let list =
+            failures.iter().map(|(s, _)| format!("{s:#x}")).collect::<Vec<_>>().join(", ");
+        let (first_seed, first) = &failures[0];
+        panic!(
+            "{} of {} seeds failed: [{list}]\nfirst failure (seed {first_seed:#x}): {}\n\
+             reproduce with that seed; its event schedule was:\n{}",
+            failures.len(),
+            failures.len() + ok.len(),
+            first.message,
+            first.schedule
+        );
+    }
+    ok
 }

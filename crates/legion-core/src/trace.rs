@@ -105,11 +105,18 @@ pub enum SpanKind {
     /// One rebalance-sweep convergence check (post-migration max/mean
     /// load ratio against the exit threshold).
     RebalanceConverge,
+    /// One front-door admission decision: a tenant's placement request
+    /// admitted through its token bucket and queue, or rejected with a
+    /// typed backpressure outcome (rate limit, queue full, saturated).
+    Admission,
+    /// One step of the request→approve→confirm reservation-grant
+    /// workflow at the front door (the `op` attribute names the step).
+    ReservationGrant,
 }
 
 impl SpanKind {
     /// Number of distinct kinds (histogram array size).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 18;
 
     /// Every kind, in index order.
     pub const ALL: [SpanKind; SpanKind::COUNT] = [
@@ -129,6 +136,8 @@ impl SpanKind {
         SpanKind::RebalancePlan,
         SpanKind::RebalanceMigrate,
         SpanKind::RebalanceConverge,
+        SpanKind::Admission,
+        SpanKind::ReservationGrant,
     ];
 
     /// Dense index (for per-kind histogram arrays).
@@ -155,6 +164,8 @@ impl SpanKind {
             SpanKind::RebalancePlan => "rebalance_plan",
             SpanKind::RebalanceMigrate => "rebalance_migrate",
             SpanKind::RebalanceConverge => "rebalance_converge",
+            SpanKind::Admission => "admission",
+            SpanKind::ReservationGrant => "reservation_grant",
         }
     }
 }

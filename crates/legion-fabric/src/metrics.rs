@@ -125,6 +125,31 @@ counters! {
     /// Migrations whose planned target failed mid-flight and whose
     /// object was reactivated on an alternate host instead.
     rebalance_rehomes,
+    /// Placement requests presented to the ingress front door.
+    ingress_submitted,
+    /// Requests admitted through the tenant's token bucket and queue.
+    ingress_admitted,
+    /// Requests rejected because the tenant's token bucket was empty.
+    ingress_rejected_rate,
+    /// Requests rejected because the tenant's bounded queue was full.
+    ingress_rejected_queue,
+    /// Requests rejected because the Enactor tier was saturated.
+    ingress_rejected_saturated,
+    /// Admitted requests whose placement eventually succeeded.
+    ingress_completed,
+    /// Admitted requests whose placement failed (retries exhausted).
+    ingress_failed,
+    /// Long-lived reservation grants requested at the front door.
+    grants_requested,
+    /// Pending grants approved (host reservation made).
+    grants_approved,
+    /// Approved grants confirmed by their tenant in time.
+    grants_confirmed,
+    /// Approved grants that expired unconfirmed (tokens released).
+    grants_expired,
+    /// Grant approvals that failed (host crashed or denied) — the
+    /// pending record is reconciled away and the admission refunded.
+    grants_denied,
 }
 
 impl MetricsLedger {

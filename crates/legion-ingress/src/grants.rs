@@ -1,0 +1,157 @@
+//! Reservation-grant records: the request → approve → confirm workflow.
+//!
+//! A grant is the front door's long-lived cousin of an instantaneous
+//! reservation. A tenant *requests* capacity (consuming one admission
+//! token), an operator or policy *approves* it (making the host-side
+//! reservation), and the tenant *confirms* within a window to take the
+//! [`ReservationToken`]. While pending, the grant is held in a
+//! vault-backed ledger — an [`Opr`](legion_core::Opr) per grant — so a
+//! restarted front door can reconcile what was in flight. Grants that
+//! are never confirmed expire: the host reservation is cancelled, the
+//! admission token refunded, and the ledger record deleted.
+
+use crate::tenant::{PriorityClass, TenantId};
+use legion_core::{Loid, ReservationToken, SimDuration, SimTime};
+
+/// Handle for one grant, unique per [`FrontDoor`](crate::FrontDoor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GrantId(pub(crate) u64);
+
+impl std::fmt::Display for GrantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "grant-{}", self.0)
+    }
+}
+
+/// Where a grant is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantState {
+    /// Requested by the tenant; not yet approved. Expires if not
+    /// approved within the confirm window.
+    Requested,
+    /// Approved: a host reservation is held. Expires (cancelling the
+    /// reservation) if the tenant does not confirm in time.
+    Approved,
+    /// Confirmed: the tenant holds the reservation token. Terminal.
+    Confirmed,
+    /// Expired unconfirmed; token refunded, reservation cancelled.
+    /// Terminal.
+    Expired,
+    /// Approval failed (host down / refused) and the ledger was
+    /// reconciled; token refunded. Terminal.
+    Denied,
+}
+
+impl GrantState {
+    /// Stable lowercase name (trace attribute / ledger encoding).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GrantState::Requested => "requested",
+            GrantState::Approved => "approved",
+            GrantState::Confirmed => "confirmed",
+            GrantState::Expired => "expired",
+            GrantState::Denied => "denied",
+        }
+    }
+
+    /// Whether the grant can still move (pending states keep a ledger
+    /// record and an admission token; terminal states hold neither
+    /// except `Confirmed`, whose token went to the tenant).
+    pub fn is_pending(self) -> bool {
+        matches!(self, GrantState::Requested | GrantState::Approved)
+    }
+}
+
+impl std::fmt::Display for GrantState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One grant's full record, as kept by the door (and mirrored, while
+/// pending, into the vault-backed ledger).
+#[derive(Debug, Clone)]
+pub struct GrantRecord {
+    /// This grant.
+    pub id: GrantId,
+    /// The requesting tenant.
+    pub tenant: TenantId,
+    /// The tenant's priority class at request time.
+    pub class: PriorityClass,
+    /// The object class capacity is granted for.
+    pub class_loid: Loid,
+    /// The execution vault the reservation will encode.
+    pub vault: Loid,
+    /// The host holding the reservation (set at approval).
+    pub host: Option<Loid>,
+    /// Reserved service duration.
+    pub duration: SimDuration,
+    /// Lifecycle state.
+    pub state: GrantState,
+    /// The host's token (set at approval, surrendered at confirm).
+    pub token: Option<ReservationToken>,
+    /// When the grant was requested.
+    pub requested_at: SimTime,
+    /// Deadline: a `Requested` grant must be approved and a `Approved`
+    /// grant confirmed by this instant, or it expires.
+    pub deadline: SimTime,
+    /// LOID of the ledger record (the OPR's object id).
+    pub record: Loid,
+}
+
+impl GrantRecord {
+    /// Serializes the record for its ledger OPR. Human-readable on
+    /// purpose — the ledger is an audit trail, and nothing ever parses
+    /// it back except tests.
+    pub fn encode(&self) -> Vec<u8> {
+        format!(
+            "grant={} tenant={} class={} duration_us={} state={} host={} deadline_us={}",
+            self.id.0,
+            self.tenant.index(),
+            self.class.as_str(),
+            self.duration.as_micros(),
+            self.state.as_str(),
+            self.host.map(|h| h.to_string()).unwrap_or_else(|| "-".into()),
+            self.deadline.as_micros(),
+        )
+        .into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legion_core::LoidKind;
+
+    #[test]
+    fn state_names_and_pendingness() {
+        assert!(GrantState::Requested.is_pending());
+        assert!(GrantState::Approved.is_pending());
+        assert!(!GrantState::Confirmed.is_pending());
+        assert!(!GrantState::Expired.is_pending());
+        assert!(!GrantState::Denied.is_pending());
+        assert_eq!(GrantState::Approved.as_str(), "approved");
+    }
+
+    #[test]
+    fn encode_mentions_state_and_ids() {
+        let r = GrantRecord {
+            id: GrantId(7),
+            tenant: TenantId(2),
+            class: PriorityClass::Production,
+            class_loid: Loid::synthetic(LoidKind::Class, 1),
+            vault: Loid::synthetic(LoidKind::Vault, 2),
+            host: None,
+            duration: SimDuration::from_secs(60),
+            state: GrantState::Requested,
+            token: None,
+            requested_at: SimTime::ZERO,
+            deadline: SimTime::from_secs(30),
+            record: Loid::synthetic(LoidKind::Instance, 3),
+        };
+        let s = String::from_utf8(r.encode()).unwrap();
+        assert!(s.contains("grant=7"));
+        assert!(s.contains("state=requested"));
+        assert!(s.contains("host=-"));
+    }
+}

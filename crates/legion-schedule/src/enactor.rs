@@ -114,6 +114,21 @@ pub struct Enactor {
     loid: Loid,
     fabric: Arc<Fabric>,
     config: EnactorConfig,
+    /// Reservation negotiations currently in flight — the saturation
+    /// signal the ingress front door sheds load on. Bumped for the
+    /// whole of `make_reservations` (backoffs included: a request
+    /// parked in a backoff still occupies the Enactor).
+    in_flight: std::sync::atomic::AtomicU64,
+}
+
+/// Decrements the in-flight gauge on every exit path (including the
+/// early returns inside `make_reservations`).
+struct InFlightGuard<'a>(&'a std::sync::atomic::AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+    }
 }
 
 impl Enactor {
@@ -124,12 +139,26 @@ impl Enactor {
 
     /// An Enactor with explicit configuration.
     pub fn with_config(fabric: Arc<Fabric>, config: EnactorConfig) -> Self {
-        Enactor { loid: Loid::fresh(LoidKind::Service), fabric, config }
+        Enactor {
+            loid: Loid::fresh(LoidKind::Service),
+            fabric,
+            config,
+            in_flight: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// This Enactor's identifier.
     pub fn loid(&self) -> Loid {
         self.loid
+    }
+
+    /// Reservation negotiations currently in flight. This is the
+    /// Enactor-tier saturation signal: a front door comparing it
+    /// against its configured limit can shed load (typed `Saturated`
+    /// rejections) instead of letting every tenant's requests pile onto
+    /// an Enactor already deep in retry/backoff.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The active configuration.
@@ -235,6 +264,8 @@ impl Enactor {
     /// `make_reservations` (Fig. 6): walk the request list, trying each
     /// master and its variants until one schedule fully reserves.
     pub fn make_reservations(&self, request: &ScheduleRequestList) -> ScheduleFeedback {
+        self.in_flight.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let _gauge = InFlightGuard(&self.in_flight);
         let span = self.fabric.tracer().span(SpanKind::MakeReservations);
         span.attr("schedules", request.schedules.len() as i64);
         if let Err(LegionError::MalformedSchedule(why)) = request.validate() {

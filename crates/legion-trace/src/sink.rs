@@ -359,6 +359,33 @@ impl TraceSink {
     pub fn rollup_for(&self, episode: EpisodeId) -> TraceRollup {
         TraceRollup::from_spans(self.inner.lock().done.iter().filter(|s| s.episode == episode))
     }
+
+    /// Partitioned rollups in one pass: every closed span is routed to
+    /// the group `group_of` assigns its episode (spans whose episode
+    /// maps to `None`, such as ambient maintenance work, are skipped).
+    ///
+    /// This is the per-tenant / per-priority-class aggregation path: the
+    /// ingress front door records which episode belonged to which tenant,
+    /// and one call here turns a hundred-thousand-span soak into per-group
+    /// latency histograms without re-scanning the span list per group —
+    /// `rollup_for` in a loop would be O(groups × spans).
+    pub fn rollup_grouped(
+        &self,
+        groups: usize,
+        group_of: impl Fn(EpisodeId) -> Option<usize>,
+    ) -> Vec<TraceRollup> {
+        let mut out = vec![TraceRollup::default(); groups];
+        let mut memo: BTreeMap<EpisodeId, Option<usize>> = BTreeMap::new();
+        for s in self.inner.lock().done.iter() {
+            let g = *memo.entry(s.episode).or_insert_with(|| {
+                group_of(s.episode).filter(|&g| g < groups)
+            });
+            if let Some(g) = g {
+                out[g].absorb(s);
+            }
+        }
+        out
+    }
 }
 
 impl std::fmt::Debug for TraceSink {
@@ -500,18 +527,23 @@ impl TraceRollup {
     pub fn from_spans<'a>(spans: impl Iterator<Item = &'a Span>) -> Self {
         let mut r = TraceRollup::default();
         for s in spans {
-            let i = s.kind.index();
-            r.counts[i] += 1;
-            if s.outcome.is_ok() {
-                r.ok_counts[i] += 1;
-            }
-            r.hist[i].record(s.duration());
-            r.charged_us += s.charged.as_micros();
-            if s.kind == SpanKind::StartObject {
-                r.objects_started += s.attr_i64("started").unwrap_or(0).max(0) as u64;
-            }
+            r.absorb(s);
         }
         r
+    }
+
+    /// Folds one closed span into the aggregate.
+    pub fn absorb(&mut self, s: &Span) {
+        let i = s.kind.index();
+        self.counts[i] += 1;
+        if s.outcome.is_ok() {
+            self.ok_counts[i] += 1;
+        }
+        self.hist[i].record(s.duration());
+        self.charged_us += s.charged.as_micros();
+        if s.kind == SpanKind::StartObject {
+            self.objects_started += s.attr_i64("started").unwrap_or(0).max(0) as u64;
+        }
     }
 
     /// Number of spans of `kind`.
@@ -650,6 +682,36 @@ mod tests {
         assert_eq!(r.count(SpanKind::Schedule), 1);
         assert_eq!(r.count(SpanKind::Episode), 1);
         assert_eq!(r.total(), 2);
+    }
+
+    #[test]
+    fn rollup_grouped_routes_by_episode() {
+        let s = enabled_sink();
+        let ep_a = s.begin_episode("place", Loid::synthetic(LoidKind::Class, 1));
+        let id_a = ep_a.id().unwrap();
+        s.span(SpanKind::Schedule).end_ok();
+        ep_a.end_with(SpanOutcome::Ok);
+        let ep_b = s.begin_episode("place", Loid::synthetic(LoidKind::Class, 2));
+        let id_b = ep_b.id().unwrap();
+        s.span(SpanKind::Schedule).end_ok();
+        s.span(SpanKind::Schedule).end_ok();
+        ep_b.end_with(SpanOutcome::Ok);
+        // An ambient span maps to no group and is skipped.
+        s.span(SpanKind::CollectionQuery).end_ok();
+
+        let groups = s.rollup_grouped(2, |ep| {
+            if ep == id_a {
+                Some(0)
+            } else if ep == id_b {
+                Some(1)
+            } else {
+                None
+            }
+        });
+        assert_eq!(groups[0].count(SpanKind::Schedule), 1);
+        assert_eq!(groups[1].count(SpanKind::Schedule), 2);
+        assert_eq!(groups[0].count(SpanKind::Episode), 1);
+        assert_eq!(groups[0].total() + groups[1].total(), 5, "ambient span dropped");
     }
 
     #[test]

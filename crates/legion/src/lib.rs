@@ -15,6 +15,7 @@
 //! | Schedulers: Random, IRS, round-robin, load-aware, stencil, k-of-n | [`schedulers`] |
 //! | The Monitor, triggers and migration | [`monitor`] |
 //! | Network Objects (§6 future work, implemented) | [`network`] |
+//! | Multi-tenant front door: admission, backpressure, grants | [`ingress`] |
 //! | Testbeds, workloads, experiment harness | [`apps`] |
 //! | The regex engine behind Collection `match()` | [`regex`] |
 //! | Pipeline tracing + latency histograms (observability) | [`trace`] |
@@ -76,6 +77,11 @@ pub mod schedulers {
     pub use legion_schedulers::*;
 }
 
+/// The multi-tenant front door (re-export of `legion-ingress`).
+pub mod ingress {
+    pub use legion_ingress::*;
+}
+
 /// The Monitor and migration (re-export of `legion-monitor`).
 pub mod monitor {
     pub use legion_monitor::*;
@@ -104,8 +110,9 @@ pub mod trace {
 /// Commonly used items in one import.
 pub mod prelude {
     pub use legion_apps::{
-        run_chaos_soak, run_rebalance_sim, seed_sweep, SimRebalanceReport, SimSoakConfig,
-        SimSoakReport, Testbed, TestbedConfig,
+        run_chaos_soak, run_ingress_sim, run_rebalance_sim, seed_sweep, IngressSimConfig,
+        IngressSimReport, SimRebalanceReport, SimSoakConfig, SimSoakReport, TenantSpec, Testbed,
+        TestbedConfig,
     };
     pub use legion_collection::{Collection, DataCollectionDaemon, FederatedCollection};
     pub use legion_core::{
@@ -118,6 +125,9 @@ pub mod prelude {
         SimHandle, SimRunStats,
     };
     pub use legion_hosts::{BatchQueueHost, HostConfig, StandardHost};
+    pub use legion_ingress::{
+        FrontDoor, IngressConfig, IngressError, PriorityClass, Rejected, TenantId,
+    };
     pub use legion_monitor::{
         migrate_object, migrate_object_with, MigrateError, MigrateFailure, Monitor,
         RebalanceConfig, Rebalancer, SweepReport, Watchdog,

@@ -1,6 +1,13 @@
 //! A deterministic soak: hours of virtual time on a federated bed with
 //! churn — placements, completions, load spikes, migrations, host
 //! drains — while checking global invariants every tick.
+//!
+//! The loop runs on a pure sim-time horizon: rounds continue until the
+//! virtual clock crosses one hour, never a wall-clock sleep or a
+//! hard-coded iteration count. The tick index is *derived from the
+//! clock* (30-second rounds after the 1-second warm-up), so the RNG
+//! draw order and the `% 17` / `% 23` spike cadences are byte-for-byte
+//! the ones the original counter-driven loop produced.
 
 use legion::hosts::BackgroundLoad;
 use legion::prelude::*;
@@ -8,11 +15,15 @@ use legion::schedulers::RoundRobinScheduler;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+const WARMUP_US: u64 = 1_000_000;
+const ROUND_US: u64 = 30_000_000;
+
 #[test]
 fn soak_federation_under_churn() {
     let tb = Testbed::build(TestbedConfig::wide(3, 4, 4242));
     let class = tb.register_class("churn", 20, 48);
-    tb.tick(SimDuration::from_secs(1));
+    tb.tick(SimDuration::from_micros(WARMUP_US));
+    let horizon = SimTime::from_micros(WARMUP_US + 120 * ROUND_US);
 
     let scheduler = RoundRobinScheduler::new();
     let enactor = Enactor::new(tb.fabric.clone());
@@ -25,7 +36,12 @@ fn soak_federation_under_churn() {
     let mut killed_total = 0u64;
     let class_obj = tb.fabric.lookup_class(class).unwrap();
 
-    for tick in 0..120 {
+    let mut rounds = 0u64;
+    while tb.fabric.clock().now() < horizon {
+        // This round's index, read off the virtual clock.
+        let tick = (tb.fabric.clock().now().as_micros() - WARMUP_US) / ROUND_US;
+        assert_eq!(tick, rounds, "clock advanced by something other than the round length");
+        rounds += 1;
         // Arrival: one new placement most ticks.
         if rng.gen_bool(0.7) {
             let driver = ScheduleDriver::new(&scheduler, &enactor);
@@ -45,17 +61,17 @@ fn soak_federation_under_churn() {
             }
         }
         // Occasionally spike a host's background load...
-        if tick % 17 == 0 {
+        if tick.is_multiple_of(17) {
             let i = rng.gen_range(0..tb.unix_hosts.len());
             tb.unix_hosts[i].set_background_load(BackgroundLoad::steady(2.5));
         }
         // ...and occasionally calm one down.
-        if tick % 23 == 0 {
+        if tick.is_multiple_of(23) {
             let i = rng.gen_range(0..tb.unix_hosts.len());
             tb.unix_hosts[i].set_background_load(BackgroundLoad::steady(0.1));
         }
 
-        tb.tick(SimDuration::from_secs(30));
+        tb.tick(SimDuration::from_micros(ROUND_US));
         rb.rebalance_once();
 
         // Invariant 1: every live object runs on exactly one host, and
@@ -81,6 +97,11 @@ fn soak_federation_under_churn() {
             assert!(free >= 0, "host over-committed memory at tick {tick}");
         }
     }
+
+    // The horizon produced exactly the original 120 rounds, and an hour
+    // of virtual time elapsed.
+    assert_eq!(rounds, 120, "sim-time horizon changed the iteration count");
+    assert!(tb.fabric.clock().now() >= SimTime::from_secs(3600));
 
     // The run actually did something.
     assert!(placed_total >= 60, "placed {placed_total}");

@@ -33,7 +33,7 @@ import sys
 
 HIGHER_BETTER = ("speedup", "throughput", "ops_per", "hit_rate")
 LOWER_BETTER = ("_ns", "_us", "_ms", "latency", "sweeps", "migrations",
-                "wasted", "rollback", "misses")
+                "wasted", "rollback", "misses", "fairness")
 
 
 def direction(metric: str) -> str:
