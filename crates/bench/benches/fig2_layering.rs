@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
             b.iter_batched(
                 || bench_bed(16, 7),
                 |(tb, class)| {
-                    let enactor = Enactor::new(tb.fabric.clone());
+                    let enactor = std::sync::Arc::new(Enactor::new(tb.fabric.clone()));
                     let placed =
                         place_layered(scheme, &tb.ctx(), &enactor, class, 4, 9).expect("places");
                     std::hint::black_box(placed)

@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
             |(tb, class)| {
                 let scheduler = RandomScheduler::new(3);
                 let enactor = Enactor::new(tb.fabric.clone());
-                let driver = ScheduleDriver::new(&scheduler, &enactor);
+                let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::new(enactor));
                 // May fail occasionally; we measure the attempt cost.
                 std::hint::black_box(
                     driver.place(&PlacementRequest::new().class(class, 4), &tb.ctx()).is_ok(),

@@ -1,10 +1,11 @@
 #![allow(missing_docs)]
 //! Parallel enactment throughput: (A) serial vs fan-out co-allocation —
 //! one schedule spanning every domain of a wide testbed, reserved by
-//! `Enactor::reserve_schedule` with `fanout` 1 vs 8 — and (B) serial vs
+//! `Enactor::reserve_schedule` with `fanout` 1 vs 8 — (B) serial vs
 //! batched bulk placement — 32 placement requests run one-by-one
 //! through `ScheduleDriver::place` vs pipelined 8 wide through
-//! `place_many`.
+//! `place_many` — and (C) steady-state scheduling over a large churning
+//! Collection with the epoch-validated candidate cache off vs on.
 //!
 //! Both parts run under the fabric's wire-latency emulation
 //! (`Fabric::set_wire_emulation`): every metered message blocks its
@@ -23,8 +24,12 @@
 //! smoke): `cargo bench -p legion-bench --bench place_throughput --
 //! --quick`.
 
+use legion::collection::MemberCredential;
+use legion::core::host::well_known;
+use legion::core::LoidKind;
 use legion::prelude::*;
-use legion::schedulers::{DriverReport, PlacementSpec, RandomScheduler};
+use legion::schedulers::{DriverReport, PlacementSpec, RandomScheduler, Scheduler};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Real nanoseconds slept per simulated microsecond of link latency:
@@ -122,7 +127,7 @@ fn bulk_place(preload: usize, samples: usize, target_ms: f64) -> Row {
 
     let scheduler = RandomScheduler::new(99);
     let enactor = Enactor::new(tb.fabric.clone());
-    let driver = ScheduleDriver::new(&scheduler, &enactor);
+    let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::new(enactor));
     let ctx = tb.ctx();
     let specs: Vec<PlacementSpec> = (0..32).map(|_| PlacementSpec::of(class, 2)).collect();
 
@@ -150,15 +155,127 @@ fn bulk_place(preload: usize, samples: usize, target_ms: f64) -> Row {
     Row { part: "place_many", label: "32 placements, looped place vs 8 workers", serial_ns, parallel_ns }
 }
 
+/// How many schedules run against each churn event in the steady tier:
+/// the amortization window the cache exploits (one patch or recompute,
+/// then epoch-validated hits for the rest of the batch).
+const SCHEDULES_PER_CHURN: usize = 8;
+
+fn steady_attrs(vault: Loid, memory_mb: i64) -> legion::core::AttributeDb {
+    legion::core::AttributeDb::new()
+        .with(well_known::ARCH, "mips")
+        .with(well_known::OS_NAME, "IRIX")
+        .with(well_known::MEMORY_MB, memory_mb)
+        .with(
+            well_known::COMPATIBLE_VAULTS,
+            AttrValue::List(vec![AttrValue::Str(vault.to_string())]),
+        )
+}
+
+/// Part C: steady-state scheduling over a `records`-strong synthetic
+/// Collection with `churn_pct`% of records refreshed (pull-daemon
+/// style `replace`) before each batch of [`SCHEDULES_PER_CHURN`]
+/// schedules. Serial arm: candidate cache disabled, so every schedule
+/// pays the full indexed query plus per-record candidate
+/// materialization. Parallel arm: the epoch-validated cache patches
+/// once from the delta log and serves the rest of the batch by epoch
+/// compare. Schedules only — enactment is parts A/B's subject; this
+/// tier isolates the Fig. 7 "query the Collection" step the cache
+/// amortizes.
+fn cached_steady(
+    records: usize,
+    churn_pct: usize,
+    part: &'static str,
+    label: &'static str,
+    samples: usize,
+    target_ms: f64,
+) -> Row {
+    let tb = Testbed::build(TestbedConfig::local(4, 31337));
+    let class = tb.register_class("steady", 25, 64);
+    tb.tick(SimDuration::from_secs(1));
+
+    // The scheduled-over population is synthetic: `records` member
+    // descriptions in a dedicated Collection (the testbed only provides
+    // the fabric and the registered class).
+    let collection = Collection::new(0x57EAD);
+    collection.enable_deltas(16_384);
+    let vault = tb.vault_loids[0];
+    let creds: Vec<MemberCredential> = (0..records)
+        .map(|i| {
+            collection.join_with(
+                Loid::synthetic(LoidKind::Host, 10_000 + i as u64),
+                steady_attrs(vault, 256 + (i % 8) as i64 * 64),
+                SimTime::ZERO,
+            )
+        })
+        .collect();
+
+    let scheduler = RandomScheduler::new(4242);
+    let request = PlacementRequest::new().class(class, 2);
+    let churn = (records * churn_pct / 100).max(1);
+
+    let mut tick = 0u64;
+    let mut offset = 0usize;
+    let mut run = |cache_on: bool| -> f64 {
+        let ctx = SchedCtx::new(tb.fabric.clone(), Arc::clone(&collection));
+        ctx.set_candidate_cache_enabled(cache_on);
+        let ns = median_ns(samples, target_ms, || {
+            tick += 1;
+            let t = SimTime::from_secs(tick);
+            // Refresh a rotating churn window, as the pull daemon would.
+            for k in 0..churn {
+                let i = (offset + k) % records;
+                collection
+                    .replace(&creds[i], steady_attrs(vault, 256 + (tick % 8) as i64 * 64), t)
+                    .expect("member present");
+            }
+            offset = (offset + churn) % records;
+            let mut mapped = 0usize;
+            for _ in 0..SCHEDULES_PER_CHURN {
+                let sched = scheduler.compute_schedule(&request, &ctx).expect("schedules");
+                mapped += sched.schedules[0].master.len();
+            }
+            mapped
+        });
+        if cache_on {
+            let stats = ctx.candidate_cache_stats();
+            assert!(stats.hits > 0, "steady tier never hit the cache: {stats:?}");
+            if churn <= records / 4 {
+                assert!(stats.patched > 0, "within-budget churn never patched: {stats:?}");
+            }
+        }
+        ns
+    };
+    let serial_ns = run(false);
+    let parallel_ns = run(true);
+    Row { part, label, serial_ns, parallel_ns }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1");
     let (samples, target_ms, preload_a, preload_b) =
         if quick { (5, 5.0, 256, 128) } else { (15, 60.0, 1024, 512) };
+    let steady_records = if quick { 2_000 } else { 10_000 };
 
     let rows = [
         coalloc(preload_a, samples, target_ms),
         bulk_place(preload_b, samples, target_ms),
+        cached_steady(
+            steady_records,
+            5,
+            "cached_steady",
+            "steady state, 5% churn per 8-schedule batch: uncached query vs candidate cache",
+            samples,
+            target_ms,
+        ),
+        cached_steady(
+            steady_records,
+            50,
+            "cached_steady_highchurn",
+            "steady state, 50% churn per 8-schedule batch: over patch budget, recompute fallback",
+            samples,
+            target_ms,
+        ),
     ];
     for r in &rows {
         println!(
@@ -172,6 +289,12 @@ fn main() {
     }
     let coalloc_speedup = rows[0].serial_ns / rows[0].parallel_ns;
     let place_many_speedup = rows[1].serial_ns / rows[1].parallel_ns;
+    let cached_steady_speedup = rows[2].serial_ns / rows[2].parallel_ns;
+    assert!(
+        cached_steady_speedup >= 3.0,
+        "candidate cache steady-state tier must hold >= 3x at {steady_records} records / 5% churn, \
+         got {cached_steady_speedup:.2}x"
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -194,6 +317,13 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"headline_place_many_32x8_speedup\": {place_many_speedup:.2},\n"
+    ));
+    json.push_str(&format!("  \"steady_records\": {steady_records},\n"));
+    json.push_str(&format!(
+        "  \"steady_schedules_per_churn\": {SCHEDULES_PER_CHURN},\n"
+    ));
+    json.push_str(&format!(
+        "  \"headline_cached_place_steady_speedup\": {cached_steady_speedup:.2},\n"
     ));
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
                 |(tb, class)| {
                     let scheduler = RandomScheduler::new(1);
                     let enactor = Enactor::new(tb.fabric.clone());
-                    let driver = ScheduleDriver::new(&scheduler, &enactor);
+                    let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::new(enactor));
                     let report = driver
                         .place(&PlacementRequest::new().class(class, 8), &tb.ctx())
                         .expect("placement");

@@ -10,6 +10,7 @@ use legion_schedulers::{
 };
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Blocks `frac` of the bed's hosts with whole-machine reservations, so
 /// only the remainder can accept work.
@@ -52,7 +53,7 @@ pub fn e_f7_random() -> Table {
 
             let scheduler = RandomScheduler::new(trial as u64);
             let enactor = Enactor::new(tb.fabric.clone());
-            let driver = ScheduleDriver::new(&scheduler, &enactor);
+            let driver = ScheduleDriver::new(Arc::new(scheduler), Arc::new(enactor));
             let before = tb.fabric.metrics().snapshot();
             let outcome = driver.place(&PlacementRequest::new().class(class, 4), &tb.ctx());
             let d = tb.fabric.metrics().snapshot().delta(&before);
@@ -99,18 +100,18 @@ pub fn e_f8_irs_vs_random() -> Table {
             block_fraction(&tb, class, 0.75, 13 * trial as u64);
             tb.tick(SimDuration::from_secs(1));
 
-            let enactor = Enactor::new(tb.fabric.clone());
+            let enactor = Arc::new(Enactor::new(tb.fabric.clone()));
             let ctx = tb.ctx();
             let request = PlacementRequest::new().class(class, 2);
             let before = tb.fabric.metrics().snapshot();
             let ok = match which {
                 "random" => {
                     let s = RandomScheduler::new(trial as u64);
-                    ScheduleDriver::new(&s, &enactor).place(&request, &ctx).is_ok()
+                    ScheduleDriver::new(Arc::new(s), enactor).place(&request, &ctx).is_ok()
                 }
                 _ => {
                     let s = IrsScheduler::new(trial as u64, 8);
-                    ScheduleDriver::new(&s, &enactor).place(&request, &ctx).is_ok()
+                    ScheduleDriver::new(Arc::new(s), enactor).place(&request, &ctx).is_ok()
                 }
             };
             let d = tb.fabric.metrics().snapshot().delta(&before);

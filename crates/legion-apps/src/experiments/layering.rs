@@ -20,7 +20,7 @@ pub fn e_f2_layering() -> Table {
         let tb = Testbed::build(TestbedConfig::local(16, 321));
         let class = tb.register_class("w", 25, 64);
         tb.tick(SimDuration::from_secs(1));
-        let enactor = Enactor::new(tb.fabric.clone());
+        let enactor = std::sync::Arc::new(Enactor::new(tb.fabric.clone()));
         let before = tb.fabric.metrics().snapshot();
         let placed = place_layered(scheme, &tb.ctx(), &enactor, class, 8, 99)
             .map(|v| v.len())

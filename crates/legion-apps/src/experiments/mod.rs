@@ -7,6 +7,7 @@
 //! and compares them to the paper's claims.
 
 mod batch;
+mod cache;
 mod coalloc;
 mod contention;
 mod dynamics;
@@ -17,6 +18,7 @@ mod restypes;
 mod stencil;
 
 pub use batch::e_x5_batch_queues;
+pub use cache::e_c10_candidate_cache_churn;
 pub use coalloc::{coallocate_with_scheduler, e_f5_variant_thrash, e_f6_coallocation};
 pub use contention::{
     e_f7_random, e_f8_irs_vs_random, e_f8b_nsched_sweep, e_f8c_variant_structure, e_x3_k_of_n,
@@ -41,6 +43,7 @@ pub fn run_all() -> Vec<Table> {
         e_f8_irs_vs_random(),
         e_f8b_nsched_sweep(),
         e_f8c_variant_structure(),
+        e_c10_candidate_cache_churn(),
         e_t2_reservation_types(),
         e_x1_stencil(),
         e_x2_migration(),

@@ -232,7 +232,7 @@ pub fn run_chaos_soak(cfg: &SimSoakConfig) -> Result<SimSoakReport, SimError> {
         let (max_retries, retry_gap, dwell) = (cfg.max_retries, cfg.retry_gap, cfg.dwell);
         sim.schedule_at(at, format!("arrive:ep-{i}"), move |h| {
             h.spawn(format!("ep-{i}"), move |h| {
-                let driver = ScheduleDriver::new(&*scheduler, &enactor);
+                let driver = ScheduleDriver::new(Arc::clone(&scheduler), Arc::clone(&enactor));
                 let request = PlacementRequest::new().class(class, 1);
                 for attempt in 0..=max_retries {
                     match driver.place(&request, &ctx) {

@@ -41,7 +41,7 @@ use legion_fabric::MetricsLedger;
 use legion_trace::TraceSink;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default shard count — enough to spread writer contention on a
@@ -101,6 +101,24 @@ impl Shard {
     }
 }
 
+/// A cheap validity handle over the collection's contents: the shard
+/// generation (bumped on every mutation, including derived-attribute
+/// installation) paired with the change log's newest sequence number.
+///
+/// Two equal epochs mean no mutation completed between the two reads,
+/// so any result derived from the collection at the first epoch is
+/// still exact at the second — the validation primitive behind the
+/// scheduler-side candidate cache. Reading an epoch costs two atomic
+/// loads; no shard lock is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectionEpoch {
+    /// Mutation counter; monotone, bumped under the written shard's
+    /// guard so it can never run behind a visible store change.
+    pub generation: u64,
+    /// Newest [`ChangeLog`] sequence (0 while deltas are off).
+    pub delta_seq: u64,
+}
+
 /// Proof of membership returned by `join`, required for updates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemberCredential {
@@ -151,6 +169,12 @@ pub struct Collection {
     /// The bounded change log feeding push mirrors. Locked *after* a
     /// shard write guard, always in that order.
     changelog: Mutex<Option<ChangeLog>>,
+    /// Mutation counter backing [`Self::epoch`]; bumped while the
+    /// written shard's guard is held.
+    generation: AtomicU64,
+    /// Mirror of the change log's newest sequence, maintained on every
+    /// push so `epoch()` never takes the changelog lock.
+    delta_seq_hint: AtomicU64,
 }
 
 impl Collection {
@@ -174,6 +198,8 @@ impl Collection {
             tracer: RwLock::new(None),
             deltas_on: AtomicBool::new(false),
             changelog: Mutex::new(None),
+            generation: AtomicU64::new(0),
+            delta_seq_hint: AtomicU64::new(0),
         })
     }
 
@@ -209,7 +235,36 @@ impl Collection {
     /// full snapshot ([`Self::snapshot_with_seq`]).
     pub fn enable_deltas(&self, capacity: usize) {
         *self.changelog.lock() = Some(ChangeLog::new(capacity));
+        self.delta_seq_hint.store(0, Ordering::Release);
         self.deltas_on.store(true, Ordering::Release);
+    }
+
+    /// The collection's current validity epoch. A cached result tagged
+    /// with an epoch is exact for as long as `epoch()` returns an equal
+    /// value; on mismatch, [`Self::deltas_since`] tells the holder what
+    /// changed (or that it must recompute). Reads two atomics — safe to
+    /// call on any hot path.
+    pub fn epoch(&self) -> CollectionEpoch {
+        CollectionEpoch {
+            generation: self.generation.load(Ordering::Acquire),
+            delta_seq: self.delta_seq_hint.load(Ordering::Acquire),
+        }
+    }
+
+    /// Whether derived-attribute functions are installed. Query results
+    /// then carry materialized views, so record-level caches must
+    /// bypass themselves (the views depend on injected functions the
+    /// delta log knows nothing about).
+    pub fn has_derived(&self) -> bool {
+        !self.derived.read().is_empty()
+    }
+
+    /// Bumps the mutation generation. MUST be called while still
+    /// holding the written shard's guard (or the derived write lock),
+    /// so a reader that observes an unchanged generation can never have
+    /// missed a completed mutation.
+    fn bump_epoch(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// The newest delta sequence number (0 when logging is off or
@@ -232,7 +287,8 @@ impl Collection {
             return;
         }
         if let Some(log) = self.changelog.lock().as_mut() {
-            log.push(op());
+            let seq = log.push(op());
+            self.delta_seq_hint.store(seq, Ordering::Release);
         }
     }
 
@@ -284,6 +340,7 @@ impl Collection {
                 joined_at: now,
                 updated_at: now,
             });
+            self.bump_epoch();
         }
         self.bump(|m| MetricsLedger::bump(&m.collection_updates));
         self.credential_for(joiner)
@@ -296,6 +353,7 @@ impl Collection {
         let removed = shard.remove(cred.member);
         if removed.is_some() {
             self.log_delta(|| DeltaOp::Remove { member: cred.member });
+            self.bump_epoch();
             Ok(())
         } else {
             Err(LegionError::NoSuchObject(cred.member))
@@ -341,6 +399,7 @@ impl Collection {
         if let Some(attrs) = snapshot {
             self.log_delta(|| DeltaOp::Upsert { member, attrs, joined_at, updated_at: now });
         }
+        self.bump_epoch();
         Ok(())
     }
 
@@ -357,6 +416,7 @@ impl Collection {
             .ok_or(LegionError::NoSuchObject(cred.member))?;
         Arc::make_mut(rec).updated_at = now;
         self.log_delta(|| DeltaOp::Touch { member: cred.member, updated_at: now });
+        self.bump_epoch();
         drop(shard);
         self.bump(|m| MetricsLedger::bump(&m.collection_updates));
         Ok(())
@@ -375,6 +435,7 @@ impl Collection {
         let mut shard = self.shard_of(member).write();
         shard.insert(CollectionRecord { member, attrs: attrs.clone(), joined_at, updated_at });
         self.log_delta(|| DeltaOp::Upsert { member, attrs, joined_at, updated_at });
+        self.bump_epoch();
     }
 
     /// Applies a mirror-side freshness bump. Unknown members are
@@ -384,6 +445,7 @@ impl Collection {
         if let Some(rec) = shard.records.get_mut(&member) {
             Arc::make_mut(rec).updated_at = updated_at;
             self.log_delta(|| DeltaOp::Touch { member, updated_at });
+            self.bump_epoch();
         }
     }
 
@@ -392,6 +454,7 @@ impl Collection {
         let mut shard = self.shard_of(member).write();
         if shard.remove(member).is_some() {
             self.log_delta(|| DeltaOp::Remove { member });
+            self.bump_epoch();
         }
     }
 
@@ -404,6 +467,7 @@ impl Collection {
             for member in members {
                 shard.remove(member);
                 self.log_delta(|| DeltaOp::Remove { member });
+                self.bump_epoch();
             }
         }
         for rec in records {
@@ -451,8 +515,27 @@ impl Collection {
     /// walking any index bucket before the engine routes them to the
     /// scan path.
     pub fn query_parsed(&self, query: &Query) -> Vec<Arc<CollectionRecord>> {
+        self.query_parsed_inner(query, None)
+    }
+
+    /// [`Self::query_parsed`] with the emitted span's `cache` attribute
+    /// set to `"miss"` — called by epoch-validated caches layered above
+    /// the Collection when they fall through to a full recompute, so
+    /// trace consumers can tell amortized serves from real query work.
+    pub fn query_parsed_cache_miss(&self, query: &Query) -> Vec<Arc<CollectionRecord>> {
+        self.query_parsed_inner(query, Some("miss"))
+    }
+
+    fn query_parsed_inner(
+        &self,
+        query: &Query,
+        cache_label: Option<&'static str>,
+    ) -> Vec<Arc<CollectionRecord>> {
         self.bump(|m| MetricsLedger::bump(&m.collection_queries));
         let span = self.query_span();
+        if let Some(label) = cache_label {
+            span.attr("cache", label);
+        }
         let derived = self.derived.read();
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
         let total: usize = guards.iter().map(|g| g.records.len()).sum();
@@ -510,6 +593,25 @@ impl Collection {
         out
     }
 
+    /// Accounts for a query answered from a cache layered above the
+    /// Collection (`label` is `"hit"` or `"patched"`). The serve still
+    /// counts as one `collection_queries` tick and emits one
+    /// `CollectionQuery` span — keeping the ledger↔trace reconciliation
+    /// exact — but `scanned` reflects only the `reevaluated` changed
+    /// records the cache actually re-examined (0 on a pure hit), so the
+    /// scan counters stay an honest measure of evaluation work.
+    pub fn note_cache_serve(&self, label: &'static str, hits: usize, reevaluated: u64) {
+        self.bump(|m| MetricsLedger::bump(&m.collection_queries));
+        if reevaluated > 0 {
+            self.bump(|m| MetricsLedger::bump_by(&m.collection_records_scanned, reevaluated));
+        }
+        let span = self.query_span();
+        span.attr("cache", label);
+        span.attr("scanned", reevaluated as i64);
+        span.attr("hits", hits as i64);
+        span.end_ok();
+    }
+
     /// Runs a pre-compiled query by scanning every record, ignoring the
     /// indexes. This is the reference implementation the planner must
     /// agree with; it is kept public for the equivalence test suite and
@@ -565,7 +667,11 @@ impl Collection {
 
     /// Installs a derived-attribute function (function injection, §3.2).
     pub fn install_function(&self, f: DerivedAttribute) {
-        self.derived.write().push(f);
+        let mut derived = self.derived.write();
+        derived.push(f);
+        // Derived functions change query results without touching any
+        // record: epoch-validated caches must notice.
+        self.bump_epoch();
     }
 
     /// Maximum staleness across records at `now`.
@@ -643,6 +749,7 @@ impl Collection {
             for member in stale {
                 shard.remove(member);
                 self.log_delta(|| DeltaOp::Remove { member });
+                self.bump_epoch();
                 self.bump(|m| MetricsLedger::bump(&m.collection_evictions));
                 dead.push(member);
             }

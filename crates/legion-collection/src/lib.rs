@@ -50,7 +50,7 @@ pub mod planner;
 pub mod query;
 pub mod record;
 
-pub use collection::{Collection, MemberCredential, DEFAULT_SHARDS};
+pub use collection::{Collection, CollectionEpoch, MemberCredential, DEFAULT_SHARDS};
 pub use daemon::DataCollectionDaemon;
 pub use delta::{ChangeLog, Delta, DeltaBatch, DeltaOp};
 pub use federation::{FederatedCollection, FederatedRecord, PushSyncReport};

@@ -202,8 +202,12 @@ struct DoorState {
 /// door is fully deterministic.
 pub struct FrontDoor {
     ctx: SchedCtx,
-    scheduler: Arc<dyn Scheduler>,
     enactor: Arc<Enactor>,
+    /// The one driver every placement goes through, built at
+    /// construction — `place`/`submit`/`submit_many` share it (and
+    /// through the shared [`SchedCtx`], the compiled-query and
+    /// candidate caches).
+    driver: ScheduleDriver,
     /// Vault holding pending-grant ledger records.
     ledger_vault: Loid,
     config: IngressConfig,
@@ -219,10 +223,11 @@ impl FrontDoor {
         ledger_vault: Loid,
         config: IngressConfig,
     ) -> Self {
+        let driver = ScheduleDriver::with_limits(scheduler, Arc::clone(&enactor), config.limits);
         FrontDoor {
             ctx,
-            scheduler,
             enactor,
+            driver,
             ledger_vault,
             config,
             state: Mutex::new(DoorState {
@@ -380,9 +385,7 @@ impl FrontDoor {
         request: &PlacementRequest,
     ) -> Result<legion_schedulers::DriverReport, LegionError> {
         let tenant = permit.tenant;
-        let driver =
-            ScheduleDriver::with_limits(&*self.scheduler, &self.enactor, self.config.limits);
-        let result = driver.place(request, &self.ctx);
+        let result = self.driver.place(request, &self.ctx);
         if let Ok(report) = &result {
             if let Some(ep) = report.episode {
                 self.state.lock().episodes.insert(ep, tenant);
@@ -401,6 +404,50 @@ impl FrontDoor {
     ) -> Result<legion_schedulers::DriverReport, IngressError> {
         let permit = self.admit(tenant)?;
         self.place(permit, request).map_err(IngressError::Placement)
+    }
+
+    /// The coalescing batcher: admits every submission in order, then
+    /// drains the admitted permits through one
+    /// [`ScheduleDriver::place_many`] batch over `workers` threads.
+    /// Results come back in submission order — rejections keep their
+    /// slot as typed [`IngressError::Rejected`] values, and every
+    /// admitted permit is concluded from its placement outcome exactly
+    /// as [`FrontDoor::submit`] would.
+    ///
+    /// Batching is what makes concurrent tenants *share* the candidate
+    /// cache instead of racing it: the batch's placements validate
+    /// against one Collection epoch, so N same-class requests cost one
+    /// query (or one delta patch) plus N−1 cache hits rather than N
+    /// full queries.
+    pub fn submit_many(
+        &self,
+        submissions: &[(TenantId, PlacementRequest)],
+        workers: usize,
+    ) -> Vec<Result<legion_schedulers::DriverReport, IngressError>> {
+        let mut out: Vec<Option<Result<legion_schedulers::DriverReport, IngressError>>> =
+            (0..submissions.len()).map(|_| None).collect();
+        let mut permits: Vec<(usize, Permit)> = Vec::new();
+        let mut specs: Vec<legion_schedulers::PlacementSpec> = Vec::new();
+        for (i, (tenant, request)) in submissions.iter().enumerate() {
+            match self.admit(*tenant) {
+                Ok(permit) => {
+                    permits.push((i, permit));
+                    specs.push(legion_schedulers::PlacementSpec::new(request.clone()));
+                }
+                Err(rejected) => out[i] = Some(Err(rejected.into())),
+            }
+        }
+        let results = self.driver.place_many(&specs, &self.ctx, workers);
+        for ((i, permit), result) in permits.into_iter().zip(results) {
+            if let Ok(report) = &result {
+                if let Some(ep) = report.episode {
+                    self.state.lock().episodes.insert(ep, permit.tenant);
+                }
+            }
+            self.conclude(permit, result.is_ok());
+            out[i] = Some(result.map_err(IngressError::Placement));
+        }
+        out.into_iter().map(|slot| slot.expect("every submission answered")).collect()
     }
 
     // --- grants -----------------------------------------------------------

@@ -1,0 +1,259 @@
+//! Epoch-validated candidate-set cache.
+//!
+//! Schedulers rebuild the same candidate query on every placement, so
+//! at steady state the dominant cost of a placement episode is a full
+//! Collection query — linear in Collection size — even when nothing
+//! relevant changed between episodes. This module caches the
+//! *materialized* candidate set per compiled query text and validates
+//! it with [`Collection::epoch`]: a hit costs two atomic loads and a
+//! comparison instead of a sharded index probe, merge, and per-record
+//! vault extraction.
+//!
+//! On epoch advance the cache consumes the Collection's bounded delta
+//! log ([`Collection::deltas_since`]) and patches the cached set
+//! incrementally — the query predicate is re-evaluated only against
+//! the records that actually changed. Three situations fall back to a
+//! full recompute, mirroring the push federation's gap→resync rule:
+//!
+//! * the log reports a [`DeltaBatch::Gap`] (the bounded log already
+//!   dropped changes the cache needs),
+//! * deltas are off (or the epoch moved without new deltas, e.g. a
+//!   derived-attribute function was installed mid-flight),
+//! * the batch is large enough that patching would cost more than the
+//!   indexed recompute (see [`patch_budget`]; threshold measured in
+//!   EXPERIMENTS.md E-C10).
+//!
+//! Correctness leans on two properties. First, every mutator bumps the
+//! generation *while still holding the written shard's guard*, so a
+//! reader that observes an unchanged generation cannot have missed a
+//! completed mutation. Second, deltas are idempotent re-statements of
+//! post-change record state (`Upsert` carries the full attribute
+//! snapshot and both timestamps), so patching from a conservatively
+//! old anchor — the epoch is always read *before* the query or the
+//! delta pull — at worst re-applies an op the snapshot already
+//! reflects, never corrupts it.
+//!
+//! Concurrency: lookups share a read lock; a stale entry is refreshed
+//! by whichever worker reaches the entry's write lock first while the
+//! rest wait and then serve the refreshed set. Under `place_many` the
+//! workers therefore share one cache generation per churn event
+//! instead of racing N identical full queries.
+
+use crate::traits::Candidate;
+use legion_collection::{Collection, CollectionEpoch, DeltaBatch, DeltaOp, Query};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Patch only when the delta batch is smaller than this budget;
+/// otherwise recompute through the indexed query path. The churn sweep
+/// in EXPERIMENTS.md E-C10 puts the patch/recompute crossover between
+/// 25% and 50% churn per serve at 10k records, so the budget is a
+/// quarter of the collection — with a floor so small collections
+/// (where recompute is cheap but patching is cheaper still) always
+/// patch.
+fn patch_budget(collection_len: usize) -> usize {
+    (collection_len / 4).max(64)
+}
+
+/// Monotonic counters describing how the cache has been serving.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateCacheStats {
+    /// Serves where the epoch matched: no evaluation work at all.
+    pub hits: u64,
+    /// Serves that replayed a delta batch over the cached set.
+    pub patched: u64,
+    /// Full computes: first touch, gap, oversized batch, deltas off.
+    pub misses: u64,
+    /// The subset of `misses` forced by a delta-log gap.
+    pub gap_resyncs: u64,
+}
+
+struct CachedSet {
+    /// The epoch the set is exact at (read *before* the compute, so
+    /// validation errs toward revalidating, never toward staleness).
+    epoch: CollectionEpoch,
+    candidates: Arc<Vec<Candidate>>,
+}
+
+#[derive(Default)]
+struct CacheEntry {
+    state: RwLock<Option<CachedSet>>,
+}
+
+/// The per-[`SchedCtx`](crate::SchedCtx) candidate cache; see the
+/// module docs for the validation and patching protocol.
+pub struct CandidateCache {
+    entries: RwLock<HashMap<String, Arc<CacheEntry>>>,
+    enabled: AtomicBool,
+    hits: AtomicU64,
+    patched: AtomicU64,
+    misses: AtomicU64,
+    gap_resyncs: AtomicU64,
+}
+
+impl CandidateCache {
+    pub(crate) fn new() -> Self {
+        CandidateCache {
+            entries: RwLock::new(HashMap::new()),
+            enabled: AtomicBool::new(true),
+            hits: AtomicU64::new(0),
+            patched: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            gap_resyncs: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+        if !on {
+            self.entries.write().clear();
+        }
+    }
+
+    pub(crate) fn stats(&self) -> CandidateCacheStats {
+        CandidateCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            patched: self.patched.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            gap_resyncs: self.gap_resyncs.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry(&self, key: &str) -> Arc<CacheEntry> {
+        if let Some(e) = self.entries.read().get(key) {
+            return Arc::clone(e);
+        }
+        Arc::clone(self.entries.write().entry(key.to_string()).or_default())
+    }
+
+    /// Serves the candidate set for `query`, keyed by its source
+    /// `text` (the [`SchedCtx`](crate::SchedCtx) compiled-query key).
+    /// Every serve is accounted on the Collection as one query — hit
+    /// and patched serves via [`Collection::note_cache_serve`], full
+    /// recomputes via the query path itself with a `cache: miss` span
+    /// attribute — so ledger↔trace reconciliation stays exact.
+    pub(crate) fn serve(
+        &self,
+        collection: &Collection,
+        query: &Query,
+        text: &str,
+    ) -> Arc<Vec<Candidate>> {
+        let entry = self.entry(text);
+        let epoch = collection.epoch();
+        {
+            let state = entry.state.read();
+            if let Some(set) = state.as_ref() {
+                if set.epoch == epoch {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    collection.note_cache_serve("hit", set.candidates.len(), 0);
+                    return Arc::clone(&set.candidates);
+                }
+            }
+        }
+
+        let mut state = entry.state.write();
+        // Another worker may have refreshed while we waited for the
+        // write lock; revalidate before doing any work.
+        let epoch = collection.epoch();
+        if let Some(set) = state.as_ref() {
+            if set.epoch == epoch {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                collection.note_cache_serve("hit", set.candidates.len(), 0);
+                return Arc::clone(&set.candidates);
+            }
+            match collection.deltas_since(set.epoch.delta_seq) {
+                DeltaBatch::Ops(ops) if ops.len() <= patch_budget(collection.len()) => {
+                    let newest = ops.last().map_or(set.epoch.delta_seq, |d| d.seq);
+                    let mut list: Vec<Candidate> = (*set.candidates).clone();
+                    let mut reevaluated = 0u64;
+                    for delta in ops {
+                        apply_delta(&mut list, query, delta.op, &mut reevaluated);
+                    }
+                    let candidates = Arc::new(list);
+                    self.patched.fetch_add(1, Ordering::Relaxed);
+                    collection.note_cache_serve("patched", candidates.len(), reevaluated);
+                    *state = Some(CachedSet {
+                        epoch: CollectionEpoch { generation: epoch.generation, delta_seq: newest },
+                        candidates: Arc::clone(&candidates),
+                    });
+                    return candidates;
+                }
+                DeltaBatch::Gap { .. } => {
+                    self.gap_resyncs.fetch_add(1, Ordering::Relaxed);
+                }
+                // UpToDate despite an epoch mismatch (deltas off, log
+                // enabled after we cached, or a derived function was
+                // installed) and oversized batches both fall through to
+                // the full recompute below.
+                _ => {}
+            }
+        }
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let candidates = Arc::new(compute(collection, query, true));
+        *state = Some(CachedSet { epoch, candidates: Arc::clone(&candidates) });
+        candidates
+    }
+}
+
+/// Runs the query and materializes candidates — the shared recompute
+/// path (`as_miss` labels the trace span when the cache fell through).
+pub(crate) fn compute(collection: &Collection, query: &Query, as_miss: bool) -> Vec<Candidate> {
+    let records = if as_miss {
+        collection.query_parsed_cache_miss(query)
+    } else {
+        collection.query_parsed(query)
+    };
+    records.into_iter().map(Candidate::from_record).collect()
+}
+
+/// Applies one logged change to a member-sorted candidate list.
+///
+/// `Upsert` re-evaluates the predicate against the full post-change
+/// attribute snapshot it carries; `Touch` moves only the freshness
+/// timestamp — by the delta-log contract the attributes are unchanged,
+/// so the cached predicate verdict (and vault list) still stands and
+/// no re-evaluation happens; `Remove` is a plain delete. All three are
+/// idempotent, which is what makes replaying from a conservative
+/// anchor safe.
+fn apply_delta(list: &mut Vec<Candidate>, query: &Query, op: DeltaOp, reevaluated: &mut u64) {
+    match op {
+        DeltaOp::Upsert { member, attrs, joined_at, updated_at } => {
+            *reevaluated += 1;
+            let pos = list.binary_search_by_key(&member, |c| c.record.member);
+            if query.matches(&attrs) {
+                let rec = Arc::new(legion_collection::CollectionRecord {
+                    member,
+                    attrs,
+                    joined_at,
+                    updated_at,
+                });
+                let cand = Candidate::from_record(rec);
+                match pos {
+                    Ok(i) => list[i] = cand,
+                    Err(i) => list.insert(i, cand),
+                }
+            } else if let Ok(i) = pos {
+                list.remove(i);
+            }
+        }
+        DeltaOp::Touch { member, updated_at } => {
+            if let Ok(i) = list.binary_search_by_key(&member, |c| c.record.member) {
+                let mut rec = (*list[i].record).clone();
+                rec.updated_at = updated_at;
+                list[i].record = Arc::new(rec);
+            }
+        }
+        DeltaOp::Remove { member } => {
+            if let Ok(i) = list.binary_search_by_key(&member, |c| c.record.member) {
+                list.remove(i);
+            }
+        }
+    }
+}

@@ -23,6 +23,7 @@
 use crate::traits::{SchedCtx, Scheduler};
 use legion_core::{EpisodeId, LegionError, Loid, PlacementRequest, SpanKind, SpanOutcome};
 use legion_schedule::{Enactor, Mapping, ScheduleFeedback};
+use std::sync::Arc;
 
 /// Retry limits for the wrapper loop.
 #[derive(Debug, Clone, Copy)]
@@ -58,25 +59,40 @@ pub struct DriverReport {
 }
 
 /// Drives a Scheduler against an Enactor with Fig. 9's retry loops.
-pub struct ScheduleDriver<'a> {
-    scheduler: &'a dyn Scheduler,
-    enactor: &'a Enactor,
+///
+/// The driver *owns* shared handles to its scheduler and Enactor, so a
+/// long-lived service (the ingress [`FrontDoor`] most of all) builds
+/// one driver at construction and reuses it across every placement
+/// instead of wiring borrows per call.
+pub struct ScheduleDriver {
+    scheduler: Arc<dyn Scheduler>,
+    enactor: Arc<Enactor>,
     limits: DriverLimits,
 }
 
-impl<'a> ScheduleDriver<'a> {
+impl ScheduleDriver {
     /// A driver with default limits.
-    pub fn new(scheduler: &'a dyn Scheduler, enactor: &'a Enactor) -> Self {
+    pub fn new(scheduler: Arc<dyn Scheduler>, enactor: Arc<Enactor>) -> Self {
         Self::with_limits(scheduler, enactor, DriverLimits::default())
     }
 
     /// A driver with explicit limits.
     pub fn with_limits(
-        scheduler: &'a dyn Scheduler,
-        enactor: &'a Enactor,
+        scheduler: Arc<dyn Scheduler>,
+        enactor: Arc<Enactor>,
         limits: DriverLimits,
     ) -> Self {
         ScheduleDriver { scheduler, enactor, limits }
+    }
+
+    /// The scheduler this driver runs.
+    pub fn scheduler(&self) -> &Arc<dyn Scheduler> {
+        &self.scheduler
+    }
+
+    /// The Enactor this driver negotiates through.
+    pub fn enactor(&self) -> &Arc<Enactor> {
+        &self.enactor
     }
 
     /// Runs the wrapper loop to place `request`.
@@ -176,20 +192,23 @@ impl<'a> ScheduleDriver<'a> {
             return specs.iter().map(|s| self.place(&s.request, ctx)).collect();
         }
         let cursor = std::sync::atomic::AtomicUsize::new(0);
-        let mut slots: Vec<Option<Result<DriverReport, LegionError>>> =
-            (0..specs.len()).map(|_| None).collect();
-        let results = parking_lot::Mutex::new(&mut slots);
+        // Disjoint per-index result slots: the cursor hands each index
+        // to exactly one worker, so result writes never contend on a
+        // shared lock — `OnceLock` just proves the single-writer claim
+        // to the borrow checker (and `set` would tell us if it broke).
+        let slots: Vec<std::sync::OnceLock<Result<DriverReport, LegionError>>> =
+            (0..specs.len()).map(|_| std::sync::OnceLock::new()).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(spec) = specs.get(i) else { break };
                     let res = self.place(&spec.request, ctx);
-                    results.lock()[i] = Some(res);
+                    slots[i].set(res).unwrap_or_else(|_| panic!("slot {i} written twice"));
                 });
             }
         });
-        slots.into_iter().map(|r| r.expect("every spec placed")).collect()
+        slots.into_iter().map(|s| s.into_inner().expect("every spec placed")).collect()
     }
 }
 

@@ -96,11 +96,8 @@ impl Scheduler for IrsScheduler {
             // One Collection lookup per class — the "fewer lookups"
             // advantage over calling the Fig. 7 generator n times.
             let report = ctx.class_report(item.class)?;
-            let candidates: Vec<_> = ctx
-                .candidates_for(&report, item.constraint.as_deref())?
-                .into_iter()
-                .filter(|c| c.usable())
-                .collect();
+            let pool = ctx.shared_candidates_for(&report, item.constraint.as_deref())?;
+            let candidates: Vec<_> = pool.iter().filter(|c| c.usable()).collect();
             if candidates.is_empty() {
                 return Err(LegionError::NoUsableImplementation { class: item.class });
             }

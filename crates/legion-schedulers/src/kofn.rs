@@ -70,11 +70,8 @@ impl Scheduler for KOfNScheduler {
             return Err(LegionError::MalformedSchedule("k must be positive".into()));
         }
         let report = ctx.class_report(item.class)?;
-        let mut candidates: Vec<_> = ctx
-            .candidates_for(&report, item.constraint.as_deref())?
-            .into_iter()
-            .filter(|c| c.usable())
-            .collect();
+        let pool = ctx.shared_candidates_for(&report, item.constraint.as_deref())?;
+        let mut candidates: Vec<_> = pool.iter().filter(|c| c.usable()).collect();
         if let Some(n) = self.n_limit {
             candidates.truncate(n);
         }

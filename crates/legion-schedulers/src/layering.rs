@@ -24,6 +24,7 @@ use legion_schedule::{Enactor, Mapping, ScheduleRequestList};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Which Fig. 2 layering to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +69,7 @@ impl LayeringScheme {
 pub fn place_layered(
     scheme: LayeringScheme,
     ctx: &SchedCtx,
-    enactor: &Enactor,
+    enactor: &Arc<Enactor>,
     class: Loid,
     count: u32,
     seed: u64,
@@ -95,7 +96,8 @@ pub fn place_layered(
             // Application → Scheduler → Enactor → resources.
             let scheduler = RandomScheduler::new(seed);
             let request = PlacementRequest::new().class(class, count);
-            let driver = crate::driver::ScheduleDriver::new(&scheduler, enactor);
+            let driver =
+                crate::driver::ScheduleDriver::new(Arc::new(scheduler), Arc::clone(enactor));
             let report = driver.place(&request, ctx)?;
             Ok(report.placed.into_iter().map(|(_, i)| i).collect())
         }
@@ -158,11 +160,8 @@ fn inline_random_mappings(
     seed: u64,
 ) -> Result<Vec<Mapping>, LegionError> {
     let report = ctx.class_report(class)?;
-    let candidates: Vec<_> = ctx
-        .candidates_for(&report, None)?
-        .into_iter()
-        .filter(|c| c.usable())
-        .collect();
+    let pool = ctx.shared_candidates_for(&report, None)?;
+    let candidates: Vec<_> = pool.iter().filter(|c| c.usable()).collect();
     if candidates.is_empty() {
         return Err(LegionError::NoUsableImplementation { class });
     }

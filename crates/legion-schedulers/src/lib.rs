@@ -30,6 +30,7 @@
 //! * [`layering`] — the four resource-management layering schemes of
 //!   Fig. 2, for the E-F2 experiment.
 
+pub mod cache;
 pub mod driver;
 pub mod irs;
 pub mod kofn;
@@ -41,6 +42,7 @@ pub mod round_robin;
 pub mod stencil;
 pub mod traits;
 
+pub use cache::CandidateCacheStats;
 pub use driver::{DriverLimits, DriverReport, PlacementSpec, ScheduleDriver};
 pub use irs::{IrsScheduler, VariantStyle};
 pub use kofn::KOfNScheduler;

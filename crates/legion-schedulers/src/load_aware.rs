@@ -77,11 +77,8 @@ impl Scheduler for LoadAwareScheduler {
 
         for item in &request.items {
             let report = ctx.class_report(item.class)?;
-            let mut candidates: Vec<_> = ctx
-                .candidates_for(&report, item.constraint.as_deref())?
-                .into_iter()
-                .filter(|c| c.usable())
-                .collect();
+            let pool = ctx.shared_candidates_for(&report, item.constraint.as_deref())?;
+            let mut candidates: Vec<_> = pool.iter().filter(|c| c.usable()).collect();
             if candidates.is_empty() {
                 return Err(LegionError::NoUsableImplementation { class: item.class });
             }

@@ -85,11 +85,9 @@ impl Scheduler for PriceAwareScheduler {
         let mut spares: Vec<Vec<Mapping>> = Vec::new();
         for item in &request.items {
             let report = ctx.class_report(item.class)?;
-            let mut candidates: Vec<_> = ctx
-                .candidates_for(&report, item.constraint.as_deref())?
-                .into_iter()
-                .filter(|c| c.usable() && Self::load_of(c) <= self.max_load)
-                .collect();
+            let pool = ctx.shared_candidates_for(&report, item.constraint.as_deref())?;
+            let mut candidates: Vec<_> =
+                pool.iter().filter(|c| c.usable() && Self::load_of(c) <= self.max_load).collect();
             if candidates.is_empty() {
                 return Err(LegionError::NoUsableImplementation { class: item.class });
             }

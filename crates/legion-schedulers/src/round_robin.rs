@@ -50,11 +50,8 @@ impl Scheduler for RoundRobinScheduler {
         let mut master = Vec::with_capacity(request.total_instances() as usize);
         for item in &request.items {
             let report = ctx.class_report(item.class)?;
-            let candidates: Vec<_> = ctx
-                .candidates_for(&report, item.constraint.as_deref())?
-                .into_iter()
-                .filter(|c| c.usable())
-                .collect();
+            let pool = ctx.shared_candidates_for(&report, item.constraint.as_deref())?;
+            let candidates: Vec<_> = pool.iter().filter(|c| c.usable()).collect();
             if candidates.is_empty() {
                 return Err(LegionError::NoUsableImplementation { class: item.class });
             }

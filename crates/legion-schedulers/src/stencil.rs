@@ -93,11 +93,8 @@ impl Scheduler for StencilScheduler {
             )));
         }
         let report = ctx.class_report(item.class)?;
-        let candidates: Vec<Candidate> = ctx
-            .candidates_for(&report, item.constraint.as_deref())?
-            .into_iter()
-            .filter(|c| c.usable())
-            .collect();
+        let pool = ctx.shared_candidates_for(&report, item.constraint.as_deref())?;
+        let candidates: Vec<&Candidate> = pool.iter().filter(|c| c.usable()).collect();
         if candidates.is_empty() {
             return Err(LegionError::NoUsableImplementation { class: item.class });
         }

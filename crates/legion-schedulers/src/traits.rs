@@ -1,5 +1,6 @@
 //! The Scheduler interface and shared candidate discovery.
 
+use crate::cache::{self, CandidateCache, CandidateCacheStats};
 use legion_core::{ClassReport, LegionError, Loid, PlacementRequest};
 use legion_collection::{parse_query, Collection, CollectionRecord, Query};
 use legion_fabric::Fabric;
@@ -20,12 +21,35 @@ pub struct SchedCtx {
     /// query text on every placement attempt; parsing and regex
     /// compilation happen once per distinct text, not per attempt.
     compiled: RwLock<HashMap<String, Arc<Query>>>,
+    /// Epoch-validated candidate-set cache keyed by compiled-query
+    /// text (see [`crate::cache`]); shared by every scheduler and
+    /// `place_many` worker holding this context.
+    candidates: CandidateCache,
 }
 
 impl SchedCtx {
-    /// Creates a context.
+    /// Creates a context (candidate caching on by default).
     pub fn new(fabric: Arc<Fabric>, collection: Arc<Collection>) -> Self {
-        SchedCtx { fabric, collection, compiled: RwLock::new(HashMap::new()) }
+        SchedCtx {
+            fabric,
+            collection,
+            compiled: RwLock::new(HashMap::new()),
+            candidates: CandidateCache::new(),
+        }
+    }
+
+    /// Turns the candidate-set cache on or off (on by default).
+    /// Disabling also drops every cached set; schedulers then pay a
+    /// full Collection query per placement, which is the uncached
+    /// baseline the steady-state bench compares against.
+    pub fn set_candidate_cache_enabled(&self, on: bool) {
+        self.candidates.set_enabled(on);
+    }
+
+    /// How the candidate cache has been serving (hits / patched /
+    /// misses / gap resyncs).
+    pub fn candidate_cache_stats(&self) -> CandidateCacheStats {
+        self.candidates.stats()
     }
 
     /// Compiles `text` once and caches it for the context's lifetime;
@@ -58,6 +82,22 @@ impl SchedCtx {
         report: &ClassReport,
         extra_constraint: Option<&str>,
     ) -> Result<Vec<Candidate>, LegionError> {
+        Ok((*self.shared_candidates_for(report, extra_constraint)?).clone())
+    }
+
+    /// [`Self::candidates_for`] through the epoch-validated candidate
+    /// cache: the returned set is shared (an `Arc` clone on a hit, no
+    /// per-record work at all), exact at the Collection epoch it was
+    /// validated against, and sorted by member like every Collection
+    /// query result. Schedulers filter/borrow from it rather than
+    /// cloning. Falls back to a plain query when the cache is disabled
+    /// or derived attributes are installed (materialized views cannot
+    /// be patched from the delta log).
+    pub fn shared_candidates_for(
+        &self,
+        report: &ClassReport,
+        extra_constraint: Option<&str>,
+    ) -> Result<Arc<Vec<Candidate>>, LegionError> {
         let mut q = String::new();
         if report.implementations.is_empty() {
             return Err(LegionError::NoUsableImplementation { class: report.class });
@@ -80,32 +120,15 @@ impl SchedCtx {
         }
 
         let compiled = self.compiled_query(&q)?;
-        let records = self.collection.query_parsed(&compiled);
-        Ok(records
-            .into_iter()
-            .map(|rec| {
-                // "extract list of compatible vaults from H" (Fig. 7):
-                // the vault list travels inside the Collection record.
-                let vaults = rec
-                    .attrs
-                    .get(legion_core::host::well_known::COMPATIBLE_VAULTS)
-                    .and_then(|v| v.as_list())
-                    .map(|items| {
-                        items
-                            .iter()
-                            .filter_map(|v| v.as_str())
-                            .filter_map(|s| Loid::from_str(s).ok())
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                Candidate { host: rec.member, vaults, record: rec }
-            })
-            .collect())
+        if !self.candidates.enabled() || self.collection.has_derived() {
+            return Ok(Arc::new(cache::compute(&self.collection, &compiled, false)));
+        }
+        Ok(self.candidates.serve(&self.collection, &compiled, &q))
     }
 }
 
 /// A host candidate extracted from a Collection record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
     /// The host.
     pub host: Loid,
@@ -116,6 +139,27 @@ pub struct Candidate {
 }
 
 impl Candidate {
+    /// Materializes a candidate from its Collection record — "extract
+    /// list of compatible vaults from H" (Fig. 7): the vault list
+    /// travels inside the record. The query path and the cache's
+    /// delta-patch path both build candidates through here, which is
+    /// what keeps cached and uncached sets bit-identical.
+    pub fn from_record(rec: Arc<CollectionRecord>) -> Self {
+        let vaults = rec
+            .attrs
+            .get(legion_core::host::well_known::COMPATIBLE_VAULTS)
+            .and_then(|v| v.as_list())
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|v| v.as_str())
+                    .filter_map(|s| Loid::from_str(s).ok())
+                    .collect()
+            })
+            .unwrap_or_default();
+        Candidate { host: rec.member, vaults, record: rec }
+    }
+
     /// Whether the candidate can actually hold an OPR somewhere.
     pub fn usable(&self) -> bool {
         !self.vaults.is_empty()

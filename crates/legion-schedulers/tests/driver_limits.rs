@@ -62,7 +62,7 @@ fn driver_reports_generation_and_round_counts() {
     // reserve, and this test wants the happy path).
     let scheduler = RandomScheduler::new(0);
     let enactor = Enactor::new(fabric.clone());
-    let driver = ScheduleDriver::new(&scheduler, &enactor);
+    let driver = ScheduleDriver::new(Arc::new(scheduler), Arc::new(enactor));
     let report = driver.place(&PlacementRequest::new().class(class, 2), &ctx).unwrap();
     assert_eq!(report.generations, 1, "idle bed: first generation lands");
     assert_eq!(report.reservation_rounds, 1);
@@ -78,7 +78,7 @@ fn driver_exhausts_its_limits_then_fails() {
     let scheduler = RandomScheduler::new(3);
     let enactor = Enactor::new(fabric.clone());
     let limits = DriverLimits { sched_try_limit: 2, enact_try_limit: 3 };
-    let driver = ScheduleDriver::with_limits(&scheduler, &enactor, limits);
+    let driver = ScheduleDriver::with_limits(Arc::new(scheduler), Arc::new(enactor), limits);
     let before = fabric.metrics().snapshot();
     let err = driver.place(&PlacementRequest::new().class(class, 1), &ctx);
     assert!(err.is_err());

@@ -86,7 +86,7 @@ fn random_scheduler_places_through_pipeline() {
     let w = world(2, 4, 11);
     let scheduler = RandomScheduler::new(1);
     let enactor = Enactor::new(w.fabric.clone());
-    let driver = ScheduleDriver::new(&scheduler, &enactor);
+    let driver = ScheduleDriver::new(Arc::new(scheduler), Arc::new(enactor));
     let report = driver
         .place(&PlacementRequest::new().class(w.class, 6), &w.ctx)
         .unwrap();
@@ -138,7 +138,7 @@ fn irs_emits_variants_and_survives_contention() {
         "IRS should generate variant schedules"
     );
 
-    let driver = ScheduleDriver::new(&irs, &enactor);
+    let driver = ScheduleDriver::new(Arc::new(irs), Arc::new(enactor));
     let report = driver
         .place(&PlacementRequest::new().class(w.class, 1), &w.ctx)
         .unwrap();
@@ -283,7 +283,7 @@ fn k_of_n_needs_enough_members() {
 fn all_four_layerings_place_objects() {
     for scheme in LayeringScheme::ALL {
         let w = world(1, 4, 43);
-        let enactor = Enactor::new(w.fabric.clone());
+        let enactor = Arc::new(Enactor::new(w.fabric.clone()));
         let placed = place_layered(scheme, &w.ctx, &enactor, w.class, 3, 9)
             .unwrap_or_else(|e| panic!("{} failed: {e}", scheme.label()));
         assert_eq!(placed.len(), 3, "{}", scheme.label());

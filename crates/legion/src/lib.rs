@@ -33,9 +33,9 @@
 //! let class = tb.register_class("my-app", 50, 64);
 //!
 //! // Fig. 3: Scheduler computes, Enactor reserves and instantiates.
-//! let scheduler = RandomScheduler::new(7);
-//! let enactor = Enactor::new(tb.fabric.clone());
-//! let driver = ScheduleDriver::new(&scheduler, &enactor);
+//! let scheduler = std::sync::Arc::new(RandomScheduler::new(7));
+//! let enactor = std::sync::Arc::new(Enactor::new(tb.fabric.clone()));
+//! let driver = ScheduleDriver::new(scheduler, enactor);
 //! let report = driver
 //!     .place(&PlacementRequest::new().class(class, 4), &tb.ctx())
 //!     .expect("placement succeeds on an idle testbed");

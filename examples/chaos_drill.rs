@@ -21,7 +21,7 @@ fn main() {
     // Place six instances with the stock scheduler/enactor pipeline.
     let scheduler = LoadAwareScheduler::new();
     let enactor = Enactor::new(tb.fabric.clone());
-    let driver = ScheduleDriver::new(&scheduler, &enactor);
+    let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::new(enactor));
     let report = driver
         .place(&PlacementRequest::new().class(class, 6), &tb.ctx())
         .expect("placement on an idle testbed");

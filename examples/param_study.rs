@@ -33,13 +33,14 @@ fn main() {
             tb.tick(SimDuration::from_secs(30));
         }
 
-        let scheduler: Box<dyn Scheduler> = match which {
-            "random" => Box::new(RandomScheduler::new(1)),
-            "irs" => Box::new(IrsScheduler::new(1, 6)),
-            _ => Box::new(LoadAwareScheduler::new()),
+        let scheduler: std::sync::Arc<dyn Scheduler> = match which {
+            "random" => std::sync::Arc::new(RandomScheduler::new(1)),
+            "irs" => std::sync::Arc::new(IrsScheduler::new(1, 6)),
+            _ => std::sync::Arc::new(LoadAwareScheduler::new()),
         };
         let enactor = Enactor::new(tb.fabric.clone());
-        let driver = ScheduleDriver::new(&*scheduler, &enactor);
+        let driver =
+            ScheduleDriver::new(std::sync::Arc::clone(&scheduler), std::sync::Arc::new(enactor));
         let request = PlacementRequest::new().class(class, 32);
         let Ok(outcome) = driver.place(&request, &tb.ctx()) else {
             println!("{which:<22} {:>8} {:>14} {:>16}", 0, "failed", "-");

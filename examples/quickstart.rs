@@ -40,7 +40,7 @@ fn main() {
     // the Enactor (steps 4-11) with the Fig. 9 retry wrapper.
     let scheduler = RandomScheduler::new(7);
     let enactor = Enactor::new(tb.fabric.clone());
-    let driver = ScheduleDriver::new(&scheduler, &enactor);
+    let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::new(enactor));
     let request = PlacementRequest::new().class(class, 6);
     let outcome = driver.place(&request, &ctx).expect("placement succeeds");
 

@@ -30,7 +30,7 @@ fn batch_hosts_are_scheduled_like_any_resource() {
     // Schedule 6 jobs round-robin across them.
     let scheduler = RoundRobinScheduler::new();
     let enactor = Enactor::new(tb.fabric.clone());
-    let driver = ScheduleDriver::new(&scheduler, &enactor);
+    let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::new(enactor));
     let report = driver
         .place(&PlacementRequest::new().class(class, 6), &tb.ctx())
         .unwrap();

@@ -69,6 +69,7 @@ fn chaos_soak_under_crashes_and_partitions() {
         tb.fabric.clone(),
         EnactorConfig { deadline: Some(SimDuration::from_secs(45)), ..Default::default() },
     );
+    let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::new(enactor));
     // Partitions last 60s (≤2 consecutive missed probes at the 30s tick)
     // and the link burst can add a stray miss — 4 misses (120s) declares
     // dead only hosts that are down for real (300s).
@@ -98,7 +99,6 @@ fn chaos_soak_under_crashes_and_partitions() {
         // Retry every pending request this tick; leftovers roll over.
         let mut still_pending = 0;
         for _ in 0..pending {
-            let driver = ScheduleDriver::new(&scheduler, &enactor);
             match driver.place(&PlacementRequest::new().class(class, 1), &tb.ctx()) {
                 Ok(report) => {
                     live.push(report.placed[0].1);
@@ -205,8 +205,8 @@ fn every_injected_fault_leaves_a_matching_trace_event() {
     sink.clear();
 
     let scheduler = RandomScheduler::new(5);
-    let enactor = Enactor::new(tb.fabric.clone());
-    let driver = ScheduleDriver::new(&scheduler, &enactor);
+    let enactor = std::sync::Arc::new(Enactor::new(tb.fabric.clone()));
+    let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::clone(&enactor));
     let report =
         driver.place(&PlacementRequest::new().class(class, 2), &tb.ctx()).unwrap();
     let victim = report.placed[0].0.host;

@@ -90,7 +90,7 @@ fn place_many_preserves_order_and_never_oversubscribes() {
 
     let scheduler = RandomScheduler::new(7);
     let enactor = Enactor::new(tb.fabric.clone());
-    let driver = ScheduleDriver::new(&scheduler, &enactor);
+    let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::new(enactor));
     let ctx = tb.ctx();
     let counts: Vec<u32> = (0..8).map(|i| 1 + (i % 2)).collect();
     let specs: Vec<PlacementSpec> =
@@ -123,7 +123,7 @@ fn place_many_preserves_order_and_never_oversubscribes() {
     tb2.tick(SimDuration::from_secs(1));
     let scheduler2 = RandomScheduler::new(7);
     let enactor2 = Enactor::new(tb2.fabric.clone());
-    let driver2 = ScheduleDriver::new(&scheduler2, &enactor2);
+    let driver2 = ScheduleDriver::new(std::sync::Arc::new(scheduler2), std::sync::Arc::new(enactor2));
     let specs2: Vec<PlacementSpec> =
         counts.iter().map(|&n| PlacementSpec::of(class2, n)).collect();
     let serial = driver2.place_many(&specs2, &tb2.ctx(), 1);

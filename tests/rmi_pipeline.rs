@@ -108,7 +108,7 @@ fn fabric_meters_the_negotiation() {
 
     let scheduler = RoundRobinScheduler::new();
     let enactor = Enactor::new(tb.fabric.clone());
-    let driver = ScheduleDriver::new(&scheduler, &enactor);
+    let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::new(enactor));
     driver.place(&PlacementRequest::new().class(class, 4), &tb.ctx()).unwrap();
 
     let d = tb.fabric.metrics().snapshot().delta(&before);

@@ -20,7 +20,7 @@ fn every_stock_scheduler_places_on_an_idle_bed() {
         let class = tb.register_class("w", 25, 64);
         let scheduler = mk();
         let enactor = Enactor::new(tb.fabric.clone());
-        let driver = ScheduleDriver::new(&*scheduler, &enactor);
+        let driver = ScheduleDriver::new(std::sync::Arc::from(scheduler), std::sync::Arc::new(enactor));
         let report = driver
             .place(&PlacementRequest::new().class(class, 4), &tb.ctx())
             .unwrap_or_else(|e| panic!("{name} failed: {e}"));

@@ -264,7 +264,7 @@ fn place_many_under_sim_matches_serial_thread_path() {
         tb.tick(SimDuration::from_secs(1));
         let scheduler = RandomScheduler::new(7);
         let enactor = Enactor::new(tb.fabric.clone());
-        let driver = ScheduleDriver::new(&scheduler, &enactor);
+        let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::new(enactor));
         let results = driver.place_many(&specs(class), &tb.ctx(), 1);
         digest(&tb, results)
     };
@@ -290,7 +290,7 @@ fn place_many_under_sim_matches_serial_thread_path() {
                 Arc::clone(&slots),
             );
             sim.spawn(format!("spec-{i}"), move |_| {
-                let driver = ScheduleDriver::new(&*scheduler, &enactor);
+                let driver = ScheduleDriver::new(scheduler, enactor);
                 slots.lock().unwrap()[i] = Some(driver.place(&spec.request, &ctx));
             });
         }

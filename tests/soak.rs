@@ -27,6 +27,7 @@ fn soak_federation_under_churn() {
 
     let scheduler = RoundRobinScheduler::new();
     let enactor = Enactor::new(tb.fabric.clone());
+    let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::new(enactor));
     let rb = Rebalancer::new(tb.fabric.clone());
     rb.watch_all(1.5);
 
@@ -44,7 +45,6 @@ fn soak_federation_under_churn() {
         rounds += 1;
         // Arrival: one new placement most ticks.
         if rng.gen_bool(0.7) {
-            let driver = ScheduleDriver::new(&scheduler, &enactor);
             if let Ok(report) =
                 driver.place(&PlacementRequest::new().class(class, 1), &tb.ctx())
             {

@@ -15,7 +15,7 @@ use legion::trace::Span;
 /// Places `n` objects of `class` and returns the episode's spans.
 fn traced_place(
     tb: &Testbed,
-    scheduler: &dyn Scheduler,
+    scheduler: std::sync::Arc<dyn Scheduler>,
     class: Loid,
     n: u32,
 ) -> Vec<Span> {
@@ -26,13 +26,13 @@ fn traced_place(
 /// width, attempt budget, ...).
 fn traced_place_with(
     tb: &Testbed,
-    scheduler: &dyn Scheduler,
+    scheduler: std::sync::Arc<dyn Scheduler>,
     class: Loid,
     n: u32,
     config: EnactorConfig,
 ) -> Vec<Span> {
-    let enactor = Enactor::with_config(tb.fabric.clone(), config);
-    let driver = ScheduleDriver::new(scheduler, &enactor);
+    let enactor = std::sync::Arc::new(Enactor::with_config(tb.fabric.clone(), config));
+    let driver = ScheduleDriver::new(scheduler, enactor);
     let report = driver
         .place(&PlacementRequest::new().class(class, n), &tb.ctx())
         .expect("placement succeeds on an idle bed");
@@ -47,7 +47,7 @@ fn random_placement_emits_exact_span_sequence() {
     let sink = tb.fabric.enable_tracing();
     sink.clear();
 
-    let spans = traced_place(&tb, &RandomScheduler::new(3), class, 2);
+    let spans = traced_place(&tb, std::sync::Arc::new(RandomScheduler::new(3)), class, 2);
     let kinds: Vec<SpanKind> = spans.iter().map(|s| s.kind).collect();
     assert_eq!(
         kinds,
@@ -78,7 +78,7 @@ fn spans_nest_inside_their_episode() {
     let sink = tb.fabric.enable_tracing();
     sink.clear();
 
-    let spans = traced_place(&tb, &RandomScheduler::new(5), class, 2);
+    let spans = traced_place(&tb, std::sync::Arc::new(RandomScheduler::new(5)), class, 2);
     let by_kind = |k: SpanKind| spans.iter().filter(move |s| s.kind == k);
     let root = by_kind(SpanKind::Episode).next().expect("episode root span");
     assert!(!root.parent.is_some(), "episode roots have no parent");
@@ -139,6 +139,11 @@ fn irs_variants_need_fewer_collection_queries_than_repeated_random() {
         "IRS produced master + variants from one snapshot"
     );
     let irs_queries = sink.rollup().count(SpanKind::CollectionQuery);
+    assert_eq!(
+        cache_labels(&sink.spans()),
+        vec![Some("miss".to_string())],
+        "IRS's one query is the context's first serve: a cache miss"
+    );
 
     sink.clear();
     let random = RandomScheduler::new(7);
@@ -146,6 +151,11 @@ fn irs_variants_need_fewer_collection_queries_than_repeated_random() {
         random.compute_schedule(&request, &ctx).unwrap();
     }
     let random_queries = sink.rollup().count(SpanKind::CollectionQuery);
+    assert_eq!(
+        cache_labels(&sink.spans()),
+        vec![Some("hit".to_string()); NSCHED],
+        "every random rerun serves from the candidate set the IRS miss materialized"
+    );
 
     assert!(
         irs_queries < random_queries,
@@ -154,6 +164,62 @@ fn irs_variants_need_fewer_collection_queries_than_repeated_random() {
     );
     assert_eq!(irs_queries, 1, "one query per class per IRS invocation");
     assert_eq!(random_queries, NSCHED as u64, "one query per random schedule");
+}
+
+/// The `cache` attribute of every CollectionQuery span, in span order.
+fn cache_labels(spans: &[Span]) -> Vec<Option<String>> {
+    spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::CollectionQuery)
+        .map(|s| {
+            s.attrs
+                .iter()
+                .find(|(k, _)| *k == "cache")
+                .and_then(|(_, v)| v.as_str().map(str::to_string))
+        })
+        .collect()
+}
+
+#[test]
+fn candidate_cache_serves_are_attributed_on_query_spans() {
+    // One context, repeated placements: the span stream must narrate
+    // the cache's behaviour — miss on first touch, hits while the
+    // Collection is quiet, a patched serve after delta-logged churn,
+    // and a ledger that still reconciles (every serve is one query).
+    let tb = Testbed::build(TestbedConfig::local(4, 31));
+    let class = tb.register_class("cache", 25, 64);
+    let ctx = tb.ctx();
+    ctx.collection.enable_deltas(1024);
+    let sink = tb.fabric.enable_tracing();
+    sink.clear();
+    let before = tb.fabric.metrics().snapshot();
+
+    let enactor = std::sync::Arc::new(Enactor::new(tb.fabric.clone()));
+    let driver = ScheduleDriver::new(std::sync::Arc::new(RandomScheduler::new(3)), enactor);
+    for _ in 0..3 {
+        driver.place(&PlacementRequest::new().class(class, 1), &ctx).unwrap();
+    }
+    assert_eq!(
+        cache_labels(&sink.spans()),
+        vec![Some("miss".into()), Some("hit".into()), Some("hit".into())],
+        "quiet Collection: one materializing miss, then epoch-validated hits"
+    );
+
+    // A tick refreshes every host record through the pull daemon; the
+    // churn lands in the delta log, so the next serve patches.
+    tb.tick(SimDuration::from_secs(1));
+    driver.place(&PlacementRequest::new().class(class, 1), &ctx).unwrap();
+    let labels = cache_labels(&sink.spans());
+    assert_eq!(labels.last().unwrap().as_deref(), Some("patched"), "churn patches: {labels:?}");
+
+    let stats = ctx.candidate_cache_stats();
+    assert_eq!((stats.misses, stats.hits, stats.patched), (1, 2, 1));
+    // Cached serves are still accounted queries: the ledger agrees with
+    // the span stream, serve for serve.
+    let delta = tb.fabric.metrics().snapshot().delta(&before);
+    assert_eq!(delta.collection_queries, 4, "four serves, four accounted queries");
+    let mismatches = reconcile_trace(&sink.rollup(), &delta);
+    assert!(mismatches.is_empty(), "trace and ledger diverged: {mismatches:?}");
 }
 
 #[test]
@@ -165,15 +231,15 @@ fn trace_rollup_reconciles_with_the_metrics_ledger() {
     sink.clear();
     let before = tb.fabric.metrics().snapshot();
 
-    let enactor = Enactor::new(tb.fabric.clone());
-    let random = RandomScheduler::new(11);
-    let irs = IrsScheduler::new(13, 3);
+    let enactor = std::sync::Arc::new(Enactor::new(tb.fabric.clone()));
+    let random: std::sync::Arc<dyn Scheduler> = std::sync::Arc::new(RandomScheduler::new(11));
+    let irs: std::sync::Arc<dyn Scheduler> = std::sync::Arc::new(IrsScheduler::new(13, 3));
     for (scheduler, class, n) in [
-        (&random as &dyn Scheduler, class_a, 2),
-        (&irs as &dyn Scheduler, class_b, 3),
-        (&random as &dyn Scheduler, class_b, 1),
+        (std::sync::Arc::clone(&random), class_a, 2),
+        (std::sync::Arc::clone(&irs), class_b, 3),
+        (std::sync::Arc::clone(&random), class_b, 1),
     ] {
-        ScheduleDriver::new(scheduler, &enactor)
+        ScheduleDriver::new(scheduler, std::sync::Arc::clone(&enactor))
             .place(&PlacementRequest::new().class(class, n), &tb.ctx())
             .unwrap();
     }
@@ -199,7 +265,7 @@ fn latency_histograms_count_every_span_and_cost_is_visible() {
     let sink = tb.fabric.enable_tracing();
     sink.clear();
 
-    let spans = traced_place(&tb, &RandomScheduler::new(9), class, 2);
+    let spans = traced_place(&tb, std::sync::Arc::new(RandomScheduler::new(9)), class, 2);
     for kind in SpanKind::ALL {
         let expected = spans.iter().filter(|s| s.kind == kind).count() as u64;
         assert_eq!(
@@ -234,7 +300,7 @@ fn concurrent_placements_keep_episodes_separate() {
                 scope.spawn(move || {
                     let enactor = Enactor::new(tb.fabric.clone());
                     let scheduler = RandomScheduler::new(100 + i);
-                    let driver = ScheduleDriver::new(&scheduler, &enactor);
+                    let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::new(enactor));
                     let report = driver
                         .place(&PlacementRequest::new().class(class, 1), &tb.ctx())
                         .expect("concurrent placement succeeds");
@@ -282,7 +348,7 @@ fn fanout_placement_emits_the_serial_span_sequence() {
 
     let spans = traced_place_with(
         &tb,
-        &RandomScheduler::new(3),
+        std::sync::Arc::new(RandomScheduler::new(3)),
         class,
         2,
         EnactorConfig { fanout: 8, ..Default::default() },
@@ -368,7 +434,7 @@ fn disabled_tracer_records_nothing_and_reports_no_episode() {
     // Tracing is off by default: the pipeline runs clean and unobserved.
     let enactor = Enactor::new(tb.fabric.clone());
     let scheduler = RandomScheduler::new(1);
-    let driver = ScheduleDriver::new(&scheduler, &enactor);
+    let driver = ScheduleDriver::new(std::sync::Arc::new(scheduler), std::sync::Arc::new(enactor));
     let report =
         driver.place(&PlacementRequest::new().class(class, 2), &tb.ctx()).unwrap();
     assert_eq!(report.placed.len(), 2);
